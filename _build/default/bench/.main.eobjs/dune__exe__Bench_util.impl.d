@@ -1,0 +1,1 @@
+bench/bench_util.ml: Analyze Bechamel Benchmark Fmt Hashtbl Instance Int64 List Measure Monotonic_clock Staged Test Time Toolkit

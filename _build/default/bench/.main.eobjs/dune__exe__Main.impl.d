@@ -1,0 +1,1 @@
+bench/main.ml: Algebra Array Bench_util Datalog Fmt Limits List Recalg Spec String Sys Translate Value Workloads

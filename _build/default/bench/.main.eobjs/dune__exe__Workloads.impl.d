@@ -1,0 +1,1 @@
+bench/workloads.ml: Algebra Datalog List Recalg Value

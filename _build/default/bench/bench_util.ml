@@ -1,0 +1,48 @@
+(* Timing helpers and the Bechamel bridge shared by all experiments. *)
+
+(* The clock library's module is shadowed by Toolkit's measure of the
+   same name; alias it first. *)
+module Clock = Monotonic_clock
+open Bechamel
+open Toolkit
+
+(* Median wall-clock milliseconds over [runs] executions. *)
+let time_ms ?(runs = 3) f =
+  let sample () =
+    let t0 = Clock.now () in
+    let result = f () in
+    let t1 = Clock.now () in
+    (Int64.to_float (Int64.sub t1 t0) /. 1e6, result)
+  in
+  let samples = List.init runs (fun _ -> sample ()) in
+  let times = List.sort compare (List.map fst samples) in
+  let median = List.nth times (runs / 2) in
+  let _, result = List.nth samples 0 in
+  (median, result)
+
+(* Run a list of named thunks through Bechamel's OLS analysis and return
+   nanoseconds per run. *)
+let bechamel_ns_per_run tests =
+  let grouped =
+    Test.make_grouped ~name:"bench" ~fmt:"%s %s"
+      (List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) tests)
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:Measure.[| run |]
+  in
+  let analyzed = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name ols acc ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] -> (name, ns) :: acc
+      | Some _ | None -> acc)
+    analyzed []
+
+let hr title = Fmt.pr "@.== %s ==@." title
+
+let row fmt = Fmt.pr fmt

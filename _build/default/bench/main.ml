@@ -1,0 +1,328 @@
+(* Benchmark harness: one experiment per entry in DESIGN.md's index.
+
+   The paper (SIGMOD '93 theory) has no empirical tables or figures; each
+   experiment here regenerates the constructive content of one theorem or
+   proposition — both sides of the claimed equivalence are executed, the
+   agreement is checked, and the costs are reported (EXPERIMENTS.md
+   records the measured outcomes).
+
+     dune exec bench/main.exe            # all experiments, default sizes
+     dune exec bench/main.exe -- e3      # a single experiment
+     dune exec bench/main.exe -- micro   # Bechamel micro-kernels *)
+
+open Recalg
+module W = Workloads
+module U = Bench_util
+
+let vi = Value.int
+
+(* ------------------------------------------------------------------ *)
+(* E1 — Theorem 6.2: safe deduction -> algebra= round trip.            *)
+
+let e1 () =
+  U.hr "E1 (Thm 6.2): deduction -> algebra= round trip, WIN game";
+  U.row "%-22s %6s %8s %8s %12s %12s %7s@." "graph" "nodes" "certain" "undef"
+    "datalog ms" "algebra ms" "agree";
+  let run name edges =
+    let edb = W.edb_of ~pred:"move" edges in
+    let datalog_ms, interp =
+      U.time_ms (fun () -> Datalog.Run.valid W.win_program edb)
+    in
+    let algebra_ms, (tr, sol) =
+      U.time_ms (fun () ->
+          let tr = Translate.Datalog_to_alg.translate W.win_program edb in
+          ( tr,
+            Algebra.Rec_eval.solve tr.Translate.Datalog_to_alg.defs
+              tr.Translate.Datalog_to_alg.db ))
+    in
+    let certain, possible = Translate.Datalog_to_alg.pred_tuples sol tr "win" in
+    let dl_true = Datalog.Interp.true_tuples interp "win" in
+    let dl_undef = Datalog.Interp.undef_tuples interp "win" in
+    let sort = List.sort compare in
+    let agree =
+      sort certain = sort dl_true
+      && sort (List.filter (fun t -> not (List.mem t certain)) possible)
+         = sort dl_undef
+    in
+    let nodes =
+      List.length
+        (List.sort_uniq compare (List.concat_map (fun (a, b) -> [ a; b ]) edges))
+    in
+    U.row "%-22s %6d %8d %8d %12.2f %12.2f %7b@." name nodes (List.length dl_true)
+      (List.length dl_undef) datalog_ms algebra_ms agree
+  in
+  run "chain-16" (W.chain 16);
+  run "chain-32" (W.chain 32);
+  run "cycle-16" (W.cycle 16);
+  run "half-cyclic-24" (W.half_cyclic 24);
+  run "random-20/40" (W.random_graph ~nodes:20 ~edges:40 ~seed:7);
+  run "random-30/60" (W.random_graph ~nodes:30 ~edges:60 ~seed:11)
+
+(* ------------------------------------------------------------------ *)
+(* E2 — Theorem 4.3: stratified deduction = positive IFP-algebra.      *)
+
+let e2 () =
+  U.hr "E2 (Thm 4.3): stratified deduction vs positive IFP-algebra, TC";
+  U.row "%-10s %8s %14s %14s %14s %7s@." "chain" "|tc|" "stratified ms"
+    "IFP-alg ms" "translated ms" "equal";
+  List.iter
+    (fun n ->
+      let edges = W.chain n in
+      let edb = W.edb_of ~pred:"e" edges in
+      let strat_ms, strat =
+        U.time_ms (fun () ->
+            match Datalog.Run.stratified W.tc_program edb with
+            | Ok db -> db
+            | Error e -> failwith e)
+      in
+      let db = W.db_of ~rel:"edge" edges in
+      let ifp_ms, ifp_value =
+        U.time_ms (fun () -> Algebra.Eval.eval (Algebra.Defs.make []) db W.tc_ifp)
+      in
+      (* The mechanical Theorem 4.3 image of the datalog program. *)
+      let tr_ms, tr_tuples =
+        U.time_ms (fun () ->
+            match Translate.Stratified_to_ifp.translate W.tc_program edb with
+            | Ok tr -> Translate.Stratified_to_ifp.eval_pred tr "t"
+            | Error e -> failwith e)
+      in
+      let tc_count = Datalog.Edb.cardinal strat "t" in
+      let equal =
+        Value.cardinal ifp_value = tc_count && List.length tr_tuples = tc_count
+      in
+      U.row "%-10d %8d %14.2f %14.2f %14.2f %7b@." n tc_count strat_ms ifp_ms
+        tr_ms equal)
+    [ 12; 24; 48 ]
+
+(* ------------------------------------------------------------------ *)
+(* E3 — semantics cost: valid vs well-founded vs inflationary.         *)
+
+let e3 () =
+  U.hr "E3: semantics cost on the WIN game (grounding shared)";
+  U.row "%-18s %8s %10s %10s %10s %10s %8s@." "graph" "atoms" "valid ms"
+    "wf ms" "inf ms" "stable ms" "undef";
+  let run name edges =
+    let edb = W.edb_of ~pred:"move" edges in
+    let pg = Datalog.Grounder.ground W.win_program edb in
+    let valid_ms, interp = U.time_ms (fun () -> Datalog.Valid.solve pg) in
+    let wf_ms, _ = U.time_ms (fun () -> Datalog.Wellfounded.solve pg) in
+    let inf_ms, _ = U.time_ms (fun () -> Datalog.Inflationary.solve pg) in
+    let stable_ms =
+      try fst (U.time_ms (fun () -> Datalog.Stable.models ~max_residue:16 pg))
+      with Limits.Diverged _ -> nan
+    in
+    U.row "%-18s %8d %10.2f %10.2f %10.2f %10.2f %8d@." name
+      (Datalog.Propgm.n_atoms pg) valid_ms wf_ms inf_ms stable_ms
+      (Datalog.Interp.count_undef interp)
+  in
+  run "chain-64" (W.chain 64);
+  run "chain-128" (W.chain 128);
+  run "cycle-8" (W.cycle 8);
+  run "cycle-9" (W.cycle 9);
+  run "half-cyclic-16" (W.half_cyclic 16);
+  run "random-40/80" (W.random_graph ~nodes:40 ~edges:80 ~seed:3)
+
+(* ------------------------------------------------------------------ *)
+(* E4 — Proposition 3.4: monotone S = exp(S) coincides with IFP_exp.   *)
+
+let e4 () =
+  U.hr "E4 (Prop 3.4): recursive equation vs IFP on monotone bodies";
+  U.row "%-12s %8s %12s %12s %10s %7s@." "graph" "|tc|" "rec-eval ms" "IFP ms"
+    "rounds" "equal";
+  let run name edges =
+    let db = W.db_of ~rel:"edge" edges in
+    let rec_ms, sol = U.time_ms (fun () -> Algebra.Rec_eval.solve W.tc_defs db) in
+    let s = Algebra.Rec_eval.constant sol "tc" in
+    let ifp_ms, ifp_value =
+      U.time_ms (fun () -> Algebra.Eval.eval (Algebra.Defs.make []) db W.tc_ifp)
+    in
+    U.row "%-12s %8d %12.2f %12.2f %10d %7b@." name (Value.cardinal ifp_value)
+      rec_ms ifp_ms
+      (Algebra.Rec_eval.rounds sol)
+      (Algebra.Rec_eval.is_defined s && Value.equal s.Algebra.Rec_eval.low ifp_value)
+  in
+  run "chain-12" (W.chain 12);
+  run "chain-20" (W.chain 20);
+  run "cycle-10" (W.cycle 10);
+  run "random-12/24" (W.random_graph ~nodes:12 ~edges:24 ~seed:5)
+
+(* ------------------------------------------------------------------ *)
+(* E5 — Theorem 3.5: IFP elimination.                                  *)
+
+let e5 () =
+  U.hr "E5 (Thm 3.5): IFP-algebra query through the elimination pipeline";
+  U.row "%-12s %8s %10s %10s %12s %7s@." "graph" "direct" "stage" "defs"
+    "pipeline ms" "equal";
+  let run name edges =
+    let db = W.db_of ~rel:"edge" edges in
+    let direct = Algebra.Eval.eval (Algebra.Defs.make []) db W.tc_ifp in
+    let ms, (elim, value) =
+      U.time_ms ~runs:3 (fun () ->
+          let elim = Translate.Ifp_elim.eliminate (Algebra.Defs.make []) db W.tc_ifp in
+          (elim, Translate.Ifp_elim.query_value elim))
+    in
+    U.row "%-12s %8d %10d %10d %12.2f %7b@." name (Value.cardinal direct)
+      elim.Translate.Ifp_elim.stage_bound
+      (List.length (Algebra.Defs.defs elim.Translate.Ifp_elim.defs))
+      ms
+      (Value.equal value.Algebra.Rec_eval.low direct
+      && Value.equal value.Algebra.Rec_eval.high direct)
+  in
+  run "chain-2" (W.chain 2);
+  run "chain-3" (W.chain 3);
+  run "cycle-3" (W.cycle 3)
+
+(* ------------------------------------------------------------------ *)
+(* E6 — Proposition 5.2: stage indices simulate inflationary.          *)
+
+let e6 () =
+  U.hr "E6 (Prop 5.2): inflationary vs stage-indexed valid semantics";
+  U.row "%-14s %8s %10s %14s %8s %7s@." "program" "inf ms" "staged ms" "stage bound"
+    "facts" "equal";
+  let run name program edb =
+    let inf_ms, inf = U.time_ms (fun () -> Datalog.Run.inflationary program edb) in
+    let staged_ms, (staged, bound) =
+      U.time_ms ~runs:3 (fun () -> Translate.Inflationary_removal.eval program edb)
+    in
+    let idb = Datalog.Program.idb_preds program in
+    let equal =
+      List.for_all
+        (fun pred ->
+          List.sort compare (Datalog.Interp.true_tuples inf pred)
+          = List.sort compare (Datalog.Interp.true_tuples staged pred))
+        idb
+    in
+    U.row "%-14s %8.2f %10.2f %14d %8d %7b@." name inf_ms staged_ms bound
+      (Datalog.Interp.count_true inf) equal
+  in
+  let p1, edb1 =
+    Datalog.Parser.parse_exn
+      "e(1,2). e(2,3). e(3,4). p(X) :- e(X,Y), not q(Y). q(X) :- e(X,Y), not p(X)."
+  in
+  run "nonstrat-4" p1 edb1;
+  let p2, edb2 = Datalog.Parser.parse_exn "r(a). q(X) :- r(X), not q(X)." in
+  run "example4" p2 edb2;
+  run "win-chain-8" W.win_program (W.edb_of ~pred:"move" (W.chain 8))
+
+(* ------------------------------------------------------------------ *)
+(* E7 — engine ablation: naive vs semi-naive evaluation.               *)
+
+let e7 () =
+  U.hr "E7: naive vs semi-naive relational evaluation";
+  U.row "%-14s %8s %10s %12s %9s@." "workload" "|result|" "naive ms" "seminaive ms"
+    "speedup";
+  let run name program edb pred =
+    let rules = program.Datalog.Program.rules in
+    let naive_ms, naive =
+      U.time_ms ~runs:3 (fun () -> Datalog.Seminaive.naive program ~base:edb rules)
+    in
+    let semi_ms, semi =
+      U.time_ms ~runs:3 (fun () -> Datalog.Seminaive.seminaive program ~base:edb rules)
+    in
+    assert (Datalog.Edb.equal naive semi);
+    U.row "%-14s %8d %10.2f %12.2f %9.1fx@." name (Datalog.Edb.cardinal semi pred)
+      naive_ms semi_ms (naive_ms /. semi_ms)
+  in
+  List.iter
+    (fun n ->
+      run (Fmt.str "tc-chain-%d" n) W.tc_program (W.edb_of ~pred:"e" (W.chain n)) "t")
+    [ 16; 32; 64 ];
+  run "sg-chain-12" W.same_generation_program (W.edb_of ~pred:"e" (W.chain 12)) "sg"
+
+(* ------------------------------------------------------------------ *)
+(* E8 — the specification layer: valid interpretation cost and MEM     *)
+(* totality (Theorem 3.1's executable face).                           *)
+
+let e8 () =
+  U.hr "E8 (Thm 3.1): valid interpretation of specifications";
+  U.row "%-22s %10s %8s %10s %12s@." "spec" "max_size" "terms" "solve ms"
+    "fully defined";
+  let run name spec max_size cap =
+    let built = Spec.Deductive.build ~max_size ~cap spec in
+    let terms =
+      List.fold_left
+        (fun acc sort -> acc + List.length (Spec.Deductive.universe built sort))
+        0
+        (Spec.Signature.sorts (Spec.Spec.signature spec))
+    in
+    let ms, solved = U.time_ms ~runs:3 (fun () -> Spec.Deductive.solve built) in
+    U.row "%-22s %10d %8d %10.2f %12b@." name max_size terms ms
+      (Spec.Deductive.fully_defined solved)
+  in
+  run "nat (EQ)" Spec.Prelude.nat_spec 5 60;
+  run "nat (EQ)" Spec.Prelude.nat_spec 7 80;
+  run "even+default" Spec.Prelude.even_spec 6 60;
+  run "even+default" Spec.Prelude.even_spec 7 70;
+  run "SET(nat)" Spec.Prelude.set_nat_spec 7 60;
+  (* Example 2 is tiny but its valid interpretation is 3-valued. *)
+  run "example2" Spec.Prelude.example2_spec 1 10
+
+
+(* ------------------------------------------------------------------ *)
+(* E9 — grounding ablation: semi-naive vs naive instantiation.         *)
+
+let e9 () =
+  U.hr "E9: grounder ablation, delta vs full re-instantiation";
+  U.row "%-14s %8s %8s %12s %12s %9s@." "workload" "atoms" "rules" "seminaive ms"
+    "naive ms" "slowdown";
+  let run name program edb =
+    let semi_ms, pg =
+      U.time_ms (fun () -> Datalog.Grounder.ground ~strategy:`Seminaive program edb)
+    in
+    let naive_ms, pg' =
+      U.time_ms (fun () -> Datalog.Grounder.ground ~strategy:`Naive program edb)
+    in
+    assert (Datalog.Propgm.n_atoms pg = Datalog.Propgm.n_atoms pg');
+    U.row "%-14s %8d %8d %12.2f %12.2f %8.1fx@." name (Datalog.Propgm.n_atoms pg)
+      (Array.length pg.Datalog.Propgm.rules) semi_ms naive_ms (naive_ms /. semi_ms)
+  in
+  List.iter
+    (fun n -> run (Fmt.str "tc-chain-%d" n) W.tc_program (W.edb_of ~pred:"e" (W.chain n)))
+    [ 16; 32; 64 ];
+  run "win-cycle-32" W.win_program (W.edb_of ~pred:"move" (W.cycle 32))
+
+(* ------------------------------------------------------------------ *)
+(* Micro-kernels through Bechamel's OLS analysis.                      *)
+
+let micro () =
+  U.hr "micro-kernels (Bechamel OLS, ns/run)";
+  let edges = W.chain 32 in
+  let edb = W.edb_of ~pred:"move" edges in
+  let pg = Datalog.Grounder.ground W.win_program edb in
+  let a = Value.set (List.init 64 vi)
+  and b = Value.set (List.init 64 (fun i -> vi (i + 32))) in
+  let results =
+    U.bechamel_ns_per_run
+      [
+        ("value_union_64", fun () -> ignore (Value.union a b));
+        ("value_product_64", fun () -> ignore (Value.product a b));
+        ("ground_win_chain32", fun () ->
+          ignore (Datalog.Grounder.ground W.win_program edb));
+        ("valid_win_chain32", fun () -> ignore (Datalog.Valid.solve pg));
+        ("wf_win_chain32", fun () -> ignore (Datalog.Wellfounded.solve pg));
+      ]
+  in
+  List.iter
+    (fun (name, ns) -> U.row "%-34s %12.0f ns/run@." name ns)
+    (List.sort compare results)
+
+let experiments =
+  [
+    ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
+    ("e7", e7); ("e8", e8); ("e9", e9);
+  ]
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: (_ :: _ as names) ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some f -> f ()
+        | None ->
+          if String.equal name "micro" then micro ()
+          else Fmt.epr "unknown experiment %s (e1..e8, micro)@." name)
+      names
+  | _ ->
+    List.iter (fun (_, f) -> f ()) experiments;
+    micro ()

@@ -1,0 +1,73 @@
+(* Workload generators shared by the experiments: game graphs, edge
+   relations, and the standard queries of the paper's examples. *)
+
+open Recalg
+
+let vi = Value.int
+
+(* --- graphs as edge lists over integer nodes --- *)
+
+let chain n = List.init n (fun i -> (i, i + 1))
+
+let cycle n = List.init n (fun i -> (i, (i + 1) mod n))
+
+(* Deterministic pseudo-random graph (linear congruential) so benches are
+   reproducible without touching global Random state. *)
+let random_graph ~nodes ~edges ~seed =
+  let state = ref seed in
+  let next () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state
+  in
+  List.init edges (fun _ ->
+      let a = next () mod nodes in
+      let b = next () mod nodes in
+      (a, b))
+  |> List.sort_uniq compare
+
+(* Chains with a cyclic tail: positions 0..n/2 acyclic, rest on a cycle —
+   mixes defined and undefined WIN statuses. *)
+let half_cyclic n =
+  let half = max 1 (n / 2) in
+  chain half @ List.map (fun (a, b) -> (a + half, b + half)) (cycle (n - half))
+
+let edb_of ~pred edges =
+  List.fold_left
+    (fun edb (a, b) -> Datalog.Edb.add pred [ vi a; vi b ] edb)
+    Datalog.Edb.empty edges
+
+let db_of ~rel edges =
+  Algebra.Db.of_list [ (rel, List.map (fun (a, b) -> Value.pair (vi a) (vi b)) edges) ]
+
+(* --- standard queries --- *)
+
+let win_program = fst (Datalog.Parser.parse_exn "win(X) :- move(X,Y), not win(Y).")
+
+let tc_program =
+  fst (Datalog.Parser.parse_exn "t(X,Y) :- e(X,Y). t(X,Z) :- e(X,Y), t(Y,Z).")
+
+let same_generation_program =
+  fst
+    (Datalog.Parser.parse_exn
+       "sg(X,X) :- e(X,Y). sg(X,X) :- e(Y,X). sg(X,Y) :- e(XP,X), sg(XP,YP), e(YP,Y).")
+
+let win_body =
+  Algebra.Expr.(pi 1 (diff (rel "move") (product (pi 1 (rel "move")) (rel "win"))))
+
+let win_defs = Algebra.Defs.make [ Algebra.Defs.constant "win" win_body ]
+
+let compose a b =
+  Algebra.Expr.(
+    map
+      (Algebra.Efun.Tuple_of
+         [ Algebra.Efun.Compose (Algebra.Efun.Proj 1, Algebra.Efun.Proj 1);
+           Algebra.Efun.Compose (Algebra.Efun.Proj 2, Algebra.Efun.Proj 2) ])
+      (select
+         (Algebra.Pred.Eq
+            ( Algebra.Efun.Compose (Algebra.Efun.Proj 2, Algebra.Efun.Proj 1),
+              Algebra.Efun.Compose (Algebra.Efun.Proj 1, Algebra.Efun.Proj 2) ))
+         (product a b)))
+
+let tc_body x = Algebra.Expr.(union (rel "edge") (compose (rel "edge") x))
+let tc_ifp = Algebra.Expr.(ifp "x" (tc_body (rel "x")))
+let tc_defs = Algebra.Defs.make [ Algebra.Defs.constant "tc" (tc_body (Algebra.Expr.rel "tc")) ]

@@ -1,0 +1,199 @@
+(* Command-line front end: evaluate a deductive program file under a
+   chosen semantics, or translate it to an algebra= program.
+
+   Examples:
+     recalg run game.dl --semantics valid
+     recalg run game.dl --semantics stable
+     recalg translate game.dl
+     recalg check game.dl          # safety + stratification report *)
+
+open Recalg
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  match Datalog.Parser.parse (read_file path) with
+  | Ok (program, edb) -> (program, edb)
+  | Error msg ->
+    Fmt.epr "parse error in %s: %s@." path msg;
+    exit 2
+
+let pp_interp interp =
+  List.iter
+    (fun pred ->
+      let show label tuples =
+        List.iter
+          (fun args ->
+            Fmt.pr "@[<h>%s%s(%a)@]@." label pred
+              Fmt.(list ~sep:(any ", ") Value.pp)
+              args)
+          tuples
+      in
+      show "" (Datalog.Interp.true_tuples interp pred);
+      show "undef: " (Datalog.Interp.undef_tuples interp pred))
+    (Datalog.Interp.preds interp)
+
+let fuel_of n = Limits.of_int n
+
+let run_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.dl") in
+  let semantics =
+    let parse = Arg.enum
+        [ ("valid", `Valid); ("wellfounded", `Wf); ("inflationary", `Inf);
+          ("stratified", `Strat); ("stable", `Stable) ]
+    in
+    Arg.(value & opt parse `Valid & info [ "semantics"; "s" ] ~doc:"Semantics to use.")
+  in
+  let fuel =
+    Arg.(value & opt int 1_000_000 & info [ "fuel" ] ~doc:"Evaluation step budget.")
+  in
+  let run file semantics fuel =
+    let program, edb = load file in
+    match semantics with
+    | `Valid -> pp_interp (Datalog.Run.valid ~fuel:(fuel_of fuel) program edb)
+    | `Wf -> pp_interp (Datalog.Run.wellfounded ~fuel:(fuel_of fuel) program edb)
+    | `Inf -> pp_interp (Datalog.Run.inflationary ~fuel:(fuel_of fuel) program edb)
+    | `Strat -> (
+      match Datalog.Run.stratified ~fuel:(fuel_of fuel) program edb with
+      | Ok db -> Fmt.pr "%a@." Datalog.Edb.pp db
+      | Error e ->
+        Fmt.epr "error: %s@." e;
+        exit 1)
+    | `Stable ->
+      let models = Datalog.Run.stable ~fuel:(fuel_of fuel) program edb in
+      Fmt.pr "%d stable model(s)@." (List.length models);
+      List.iteri
+        (fun i m ->
+          Fmt.pr "--- model %d ---@." (i + 1);
+          pp_interp m)
+        models
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Evaluate a deductive program under a chosen semantics.")
+    Term.(const run $ file $ semantics $ fuel)
+
+let check_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.dl") in
+  let check file =
+    let program, _ = load file in
+    (match Datalog.Safety.check program with
+    | Ok () -> Fmt.pr "safe: yes@."
+    | Error violations ->
+      Fmt.pr "safe: no@.";
+      List.iter (fun v -> Fmt.pr "  %a@." Datalog.Safety.pp_violation v) violations);
+    match Datalog.Stratify.analyse program with
+    | Datalog.Stratify.Stratified groups ->
+      Fmt.pr "stratified: yes (%d strata)@." (List.length groups)
+    | Datalog.Stratify.Not_stratified (p, q) ->
+      Fmt.pr "stratified: no (%s depends negatively on %s through a cycle)@." p q
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Report safety and stratification of a program.")
+    Term.(const check $ file)
+
+let translate_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.dl") in
+  let translate file =
+    let program, edb = load file in
+    let tr = Translate.Datalog_to_alg.translate program edb in
+    Fmt.pr "-- algebra= program (Proposition 6.1) --@.";
+    Fmt.pr "%a@." Algebra.Defs.pp tr.Translate.Datalog_to_alg.defs;
+    Fmt.pr "-- database --@.%a@." Algebra.Db.pp tr.Translate.Datalog_to_alg.db
+  in
+  Cmd.v
+    (Cmd.info "translate"
+       ~doc:"Translate a safe deductive program to recursive algebra equations.")
+    Term.(const translate $ file)
+
+let alg_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.alg") in
+  let window =
+    Arg.(value & opt (some int) None
+         & info [ "window" ] ~doc:"Intersect constants with the integers 0..N.")
+  in
+  let fuel =
+    Arg.(value & opt int 1_000_000 & info [ "fuel" ] ~doc:"Evaluation step budget.")
+  in
+  let alg file window fuel =
+    match Algebra.Parser.parse_program (read_file file) with
+    | Error msg ->
+      Fmt.epr "parse error in %s: %s@." file msg;
+      exit 2
+    | Ok p -> (
+      match Algebra.Defs.validate p.Algebra.Parser.defs with
+      | Error msg ->
+        Fmt.epr "invalid program: %s@." msg;
+        exit 1
+      | Ok () ->
+        let window = Option.map (fun n -> Value.set (List.init (n + 1) Value.int)) window in
+        let sol =
+          Algebra.Rec_eval.solve ?window ~fuel:(fuel_of fuel)
+            p.Algebra.Parser.defs Algebra.Db.empty
+        in
+        List.iter
+          (fun name ->
+            Fmt.pr "@[<h>%s = %a@]@." name Algebra.Rec_eval.pp_vset
+              (Algebra.Rec_eval.constant sol name))
+          (Algebra.Defs.constant_names
+             (Algebra.Defs.inline_all p.Algebra.Parser.defs));
+        match p.Algebra.Parser.query with
+        | Some q ->
+          let v =
+            Algebra.Rec_eval.eval ?window ~fuel:(fuel_of fuel)
+              p.Algebra.Parser.defs Algebra.Db.empty q
+          in
+          Fmt.pr "@[<h>query = %a@]@." Algebra.Rec_eval.pp_vset v
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "alg"
+       ~doc:"Evaluate an algebra= program under the valid semantics.")
+    Term.(const alg $ file $ window $ fuel)
+
+let query_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.dl") in
+  let goal =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"GOAL" ~doc:"e.g. 'win(X)' or 'win(a)'.")
+  in
+  let query file goal =
+    let program, edb = load file in
+    (* A goal is one bodyless rule's head. *)
+    match Datalog.Parser.parse_rule (goal ^ ".") with
+    | Error msg ->
+      Fmt.epr "bad goal: %s@." msg;
+      exit 2
+    | Ok rule ->
+      let head = rule.Datalog.Rule.head in
+      if Datalog.Literal.atom_vars head = [] then
+        Fmt.pr "%a@." Tvl.pp (Datalog.Query.holds program edb head)
+      else
+      let answers = Datalog.Query.ask program edb head in
+      if answers = [] then Fmt.pr "no@."
+      else
+        List.iter
+          (fun a ->
+            let pp_binding ppf (x, v) = Fmt.pf ppf "%s = %a" x Value.pp v in
+            match a.Datalog.Query.bindings with
+            | [] -> Fmt.pr "%a@." Tvl.pp a.Datalog.Query.status
+            | bs ->
+              Fmt.pr "@[<h>%a  (%a)@]@."
+                Fmt.(list ~sep:(any ", ") pp_binding)
+                bs Tvl.pp a.Datalog.Query.status)
+          answers
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Answer a goal R(x)? under the valid semantics.")
+    Term.(const query $ file $ goal)
+
+let () =
+  let doc = "algebras with recursion under the valid semantics" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "recalg" ~doc)
+          [ run_cmd; check_cmd; translate_cmd; alg_cmd; query_cmd ]))

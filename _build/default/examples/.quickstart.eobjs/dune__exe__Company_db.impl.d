@@ -1,0 +1,1 @@
+examples/company_db.ml: Algebra Datalog Fmt List Recalg Translate Value

@@ -1,0 +1,1 @@
+examples/even_numbers.ml: Algebra Datalog Fmt Fun List Recalg Spec Tvl Value

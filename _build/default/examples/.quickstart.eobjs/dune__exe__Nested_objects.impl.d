@@ -1,0 +1,1 @@
+examples/nested_objects.ml: Algebra Datalog Db Defs Efun Eval Expr Fmt List Pred Recalg Value

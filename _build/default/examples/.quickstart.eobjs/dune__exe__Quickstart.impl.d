@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algebra Datalog Fmt List Recalg Tvl Value

@@ -1,0 +1,1 @@
+examples/specifications.ml: Deductive Fmt Fun Initial_valid List Parameterized Prelude Recalg Result Rewrite Spec Term Tvl

@@ -1,0 +1,1 @@
+examples/translation_roundtrip.ml: Algebra Datalog Fmt List Recalg Translate Tvl Value

@@ -1,0 +1,1 @@
+examples/translation_roundtrip.mli:

@@ -1,0 +1,1 @@
+examples/win_move_game.ml: Algebra Datalog Fmt List Recalg String Translate Tvl Value

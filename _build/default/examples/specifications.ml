@@ -1,0 +1,80 @@
+(* Algebraic specifications with negation: Section 2 end to end.
+
+   - SET(nat) with MEM evaluated by rewriting and by the valid
+     interpretation of the "deductive version";
+   - the even predicate with the valid-semantics default rule;
+   - Example 2, which has valid models but no initial one;
+   - the Proposition 2.3(2) decision procedure;
+   - SET(data) as a parameterised specification instantiated twice.
+
+   Run with: dune exec examples/specifications.exe *)
+
+open Recalg
+open Spec
+
+let () =
+  (* SET(nat): MEM by term rewriting. *)
+  Fmt.pr "== SET(nat) by rewriting ==@.";
+  let s = Prelude.set_of_ints [ 1; 2; 3 ] in
+  List.iter
+    (fun n ->
+      Fmt.pr "MEM(%d, {1,2,3}) = %a@." n Tvl.pp
+        (Rewrite.eval_bool Prelude.set_nat_rewrite_spec
+           (Prelude.mem (Prelude.nat_of_int n) s)))
+    [ 2; 5 ];
+
+  (* The same, through the deductive version and the valid semantics:
+     a specification is a deductive program over '='. *)
+  Fmt.pr "@.== SET(nat) by the valid interpretation ==@.";
+  let solved = Deductive.solve (Deductive.build ~max_size:7 ~cap:60 Prelude.set_nat_spec) in
+  let zero_one = Prelude.set_of_ints [ 0; 1 ] in
+  let one_zero = Prelude.set_of_ints [ 1; 0 ] in
+  Fmt.pr "INS commutativity: {0,1} = {1,0} is %a@." Tvl.pp
+    (Deductive.eq_holds solved zero_one one_zero);
+  (* MEM over a singleton fits the window; bigger windows work too but
+     equality saturation is cubic in the window size (see bench E8). *)
+  Fmt.pr "MEM(1, {1}) = T is %a@." Tvl.pp
+    (Deductive.eq_holds solved
+       (Prelude.mem (Prelude.nat_of_int 1) (Prelude.set_of_ints [ 1 ]))
+       Prelude.tt);
+
+  (* The even predicate: negation supplies the F answers. *)
+  Fmt.pr "@.== even with the default rule (Section 2.2) ==@.";
+  let solved_even = Deductive.solve (Deductive.build ~max_size:8 ~cap:60 Prelude.even_spec) in
+  List.iter
+    (fun n ->
+      Fmt.pr "even(%d): =T is %a, =F is %a@." n Tvl.pp
+        (Deductive.eq_holds solved_even (Prelude.even (Prelude.nat_of_int n)) Prelude.tt)
+        Tvl.pp
+        (Deductive.eq_holds solved_even (Prelude.even (Prelude.nat_of_int n)) Prelude.ff))
+    [ 2; 3 ];
+
+  (* Example 2: all models valid, none initial. *)
+  Fmt.pr "@.== Example 2 ==@.";
+  (match Initial_valid.decide Prelude.example2_spec with
+  | Ok (Initial_valid.No_initial why) -> Fmt.pr "no initial valid model: %s@." why
+  | Ok (Initial_valid.Initial _) -> Fmt.pr "unexpected initial model!@."
+  | Error e -> Fmt.pr "error: %s@." e);
+  (match Initial_valid.decide Prelude.example2_fixed_spec with
+  | Ok (Initial_valid.Initial partition) ->
+    Fmt.pr "with 'a = b' instead: initial model with %d classes: %a@."
+      (List.length partition)
+      Fmt.(list ~sep:sp (brackets (list ~sep:comma Term.pp)))
+      partition
+  | Ok (Initial_valid.No_initial why) -> Fmt.pr "unexpected: %s@." why
+  | Error e -> Fmt.pr "error: %s@." e);
+
+  (* Parameterised SET(data), instantiated at nat. *)
+  Fmt.pr "@.== parameterised SET(data) ==@.";
+  let set_nat =
+    Parameterized.instantiate
+      (Parameterized.set_of ~elem:"nat" ~eq:"EQ")
+      ~actual:"nat" ~actual_spec:Prelude.nat_spec ~rename:Fun.id ()
+  in
+  Fmt.pr "instantiated at nat; well sorted: %b@."
+    (Result.is_ok (Spec.check set_nat));
+  let solved_inst = Deductive.solve (Deductive.build ~max_size:7 ~cap:60 set_nat) in
+  Fmt.pr "MEM(2, {2}) = T is %a@." Tvl.pp
+    (Deductive.eq_holds solved_inst
+       (Prelude.mem (Prelude.nat_of_int 2) (Prelude.set_of_ints [ 2 ]))
+       Prelude.tt)

@@ -1,0 +1,1 @@
+lib/algebra/db.ml: Fmt List Map Recalg_kernel String Value

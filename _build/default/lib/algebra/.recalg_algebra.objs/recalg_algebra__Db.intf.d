@@ -1,0 +1,1 @@
+lib/algebra/db.mli: Format Recalg_kernel Value

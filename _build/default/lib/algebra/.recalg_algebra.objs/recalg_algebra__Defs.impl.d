@@ -1,0 +1,1 @@
+lib/algebra/defs.ml: Builtins Expr Fmt Hashtbl List Option Recalg_kernel String

@@ -1,0 +1,1 @@
+lib/algebra/defs.mli: Expr Format Recalg_kernel

@@ -1,0 +1,1 @@
+lib/algebra/efun.ml: Builtins Fmt List Recalg_kernel String Value

@@ -1,0 +1,1 @@
+lib/algebra/efun.mli: Builtins Format Recalg_kernel Value

@@ -1,0 +1,1 @@
+lib/algebra/eval.ml: Db Defs Efun Expr Hashtbl Limits List Pred Recalg_kernel Value

@@ -1,0 +1,1 @@
+lib/algebra/eval.mli: Db Defs Expr Limits Recalg_kernel Value

@@ -1,0 +1,1 @@
+lib/algebra/expr.ml: Efun Fmt List Pred Recalg_kernel Stdlib Value

@@ -1,0 +1,1 @@
+lib/algebra/expr.mli: Efun Format Pred Recalg_kernel Value

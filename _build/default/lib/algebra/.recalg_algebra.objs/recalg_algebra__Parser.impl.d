@@ -1,0 +1,1 @@
+lib/algebra/parser.ml: Builtins Defs Efun Expr Fmt List Pred Recalg_kernel String Value

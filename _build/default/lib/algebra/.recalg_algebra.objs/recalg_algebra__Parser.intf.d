@@ -1,0 +1,1 @@
+lib/algebra/parser.mli: Builtins Defs Expr Recalg_kernel

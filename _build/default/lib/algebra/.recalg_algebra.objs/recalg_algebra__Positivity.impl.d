@@ -1,0 +1,1 @@
+lib/algebra/positivity.ml: Defs Expr List

@@ -1,0 +1,1 @@
+lib/algebra/positivity.mli: Defs Expr

@@ -1,0 +1,1 @@
+lib/algebra/pred.ml: Efun Fmt List Option Recalg_kernel String Value

@@ -1,0 +1,1 @@
+lib/algebra/pred.mli: Builtins Efun Format Recalg_kernel Value

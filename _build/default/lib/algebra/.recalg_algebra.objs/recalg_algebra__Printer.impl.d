@@ -1,0 +1,1 @@
+lib/algebra/printer.ml: Defs Efun Expr Fmt List Pred Recalg_kernel Value

@@ -1,0 +1,1 @@
+lib/algebra/printer.mli: Defs Efun Expr Format Pred

@@ -1,0 +1,1 @@
+lib/algebra/rec_eval.ml: Db Defs Efun Expr Fmt Limits List Map Pred Recalg_kernel String Tvl Value

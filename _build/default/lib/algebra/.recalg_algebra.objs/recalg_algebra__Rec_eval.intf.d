@@ -1,0 +1,1 @@
+lib/algebra/rec_eval.mli: Db Defs Expr Format Limits Recalg_kernel Tvl Value

@@ -1,0 +1,61 @@
+open Recalg_kernel
+
+type t =
+  | Id
+  | Proj of int
+  | Tuple_of of t list
+  | Const of Value.t
+  | App of string * t list
+  | Arg of string * int
+  | Compose of t * t
+
+let rec apply builtins f v =
+  match f with
+  | Id -> Some v
+  | Proj i -> Value.proj i v
+  | Tuple_of fs ->
+    let rec go acc fs =
+      match fs with
+      | [] -> Some (Value.tuple (List.rev acc))
+      | g :: rest -> (
+        match apply builtins g v with
+        | Some w -> go (w :: acc) rest
+        | None -> None)
+    in
+    go [] fs
+  | Const c -> Some c
+  | App (name, fs) ->
+    let rec go acc fs =
+      match fs with
+      | [] -> Builtins.apply builtins name (List.rev acc)
+      | g :: rest -> (
+        match apply builtins g v with
+        | Some w -> go (w :: acc) rest
+        | None -> None)
+    in
+    go [] fs
+  | Arg (name, i) -> (
+    match v with
+    | Value.Cstr (g, args) when String.equal name g -> List.nth_opt args (i - 1)
+    | Value.Cstr _ | Value.Int _ | Value.Str _ | Value.Bool _ | Value.Sym _
+    | Value.Tuple _ | Value.Set _ ->
+      None)
+  | Compose (g, h) -> (
+    match apply builtins h v with
+    | Some w -> apply builtins g w
+    | None -> None)
+
+let add_const k = App ("add", [ Id; Const (Value.int k) ])
+let mul_const k = App ("mul", [ Id; Const (Value.int k) ])
+let pi i = Proj i
+let pair_of f g = App ("pair", [ f; g ])
+
+let rec pp ppf f =
+  match f with
+  | Id -> Fmt.string ppf "id"
+  | Proj i -> Fmt.pf ppf "pi%d" i
+  | Tuple_of fs -> Fmt.pf ppf "[%a]" Fmt.(list ~sep:comma pp) fs
+  | Const v -> Value.pp ppf v
+  | App (name, fs) -> Fmt.pf ppf "%s(%a)" name Fmt.(list ~sep:comma pp) fs
+  | Arg (name, i) -> Fmt.pf ppf "%s^-1.%d" name i
+  | Compose (g, h) -> Fmt.pf ppf "(%a . %a)" pp g pp h

@@ -1,0 +1,35 @@
+(** Element (restructuring) functions — the functions [f] of the algebra's
+    [MAP_f] operator and the building blocks of selection tests.
+
+    The framework is first order (Section 3.1): operators are generic in
+    these functions only as a macro facility, so element functions are
+    plain first-order syntax, interpreted over single values. Application
+    is partial: projecting a non-tuple, or applying an interpreted
+    function outside its domain, is undefined and the containing [MAP]
+    drops the element. *)
+
+open Recalg_kernel
+
+type t =
+  | Id
+  | Proj of int  (** 1-based tuple projection — the paper's [pi_i] *)
+  | Tuple_of of t list
+  | Const of Value.t
+  | App of string * t list
+      (** function application; interpreted when registered in the
+          builtins, free constructor otherwise. Arguments are element
+          functions applied to the same input. *)
+  | Arg of string * int  (** 1-based destructor for [Cstr] terms *)
+  | Compose of t * t  (** [Compose (f, g)] is [fun x -> f (g x)] *)
+
+val apply : Builtins.t -> t -> Value.t -> Value.t option
+
+(** {1 Convenience constructors} *)
+
+val add_const : int -> t
+(** [fun x -> x + k] — the [MAP_{+2}] of the even-numbers example. *)
+
+val mul_const : int -> t
+val pi : int -> t
+val pair_of : t -> t -> t
+val pp : Format.formatter -> t -> unit

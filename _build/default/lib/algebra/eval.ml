@@ -1,0 +1,50 @@
+open Recalg_kernel
+
+exception Undefined_relation of string
+exception Recursive_definition of string
+
+let eval ?(fuel = Limits.default ()) defs db expr =
+  let builtins = Defs.builtins defs in
+  let memo : (string, Value.t) Hashtbl.t = Hashtbl.create 8 in
+  let rec eval_name visiting name =
+    match Hashtbl.find_opt memo name with
+    | Some v -> v
+    | None -> (
+      match Defs.find defs name with
+      | Some d when d.Defs.params = [] ->
+        if List.mem name visiting then raise (Recursive_definition name);
+        let v = go (name :: visiting) [] (Defs.inline defs d.Defs.body) in
+        Hashtbl.replace memo name v;
+        v
+      | Some _ | None -> (
+        match Db.find db name with
+        | Some v -> v
+        | None -> raise (Undefined_relation name)))
+  and go visiting env e =
+    match e with
+    | Expr.Rel name -> (
+      match List.assoc_opt name env with
+      | Some v -> v
+      | None -> eval_name visiting name)
+    | Expr.Lit v -> v
+    | Expr.Param x -> invalid_arg ("Eval.eval: unsubstituted parameter " ^ x)
+    | Expr.Union (a, b) -> Value.union (go visiting env a) (go visiting env b)
+    | Expr.Diff (a, b) -> Value.diff (go visiting env a) (go visiting env b)
+    | Expr.Product (a, b) -> Value.product (go visiting env a) (go visiting env b)
+    | Expr.Select (p, a) ->
+      Value.filter
+        (fun v -> Pred.eval builtins p v = Some true)
+        (go visiting env a)
+    | Expr.Map (f, a) -> Value.filter_map_set (Efun.apply builtins f) (go visiting env a)
+    | Expr.Ifp (x, body) ->
+      let rec iterate s =
+        Limits.spend fuel ~what:"IFP iteration";
+        let s' = Value.union s (go visiting ((x, s) :: env) body) in
+        if Value.equal s s' then s else iterate s'
+      in
+      iterate Value.empty_set
+    | Expr.Call _ -> go visiting env (Defs.inline defs e)
+  in
+  go [] [] (Defs.inline defs expr)
+
+let eval_closed ?fuel db expr = eval ?fuel (Defs.make []) db expr

@@ -1,0 +1,20 @@
+(** Two-valued evaluation of IFP-algebra queries (Section 3.1).
+
+    Handles the full operator set including [IFP] (by inflationary
+    iteration) and non-recursive definitions (by inlining). Recursive
+    definitions have no two-valued semantics in general — Section 3.2's
+    [S = {a} - S] — and are rejected; they are the business of
+    {!Rec_eval}. *)
+
+open Recalg_kernel
+
+exception Undefined_relation of string
+exception Recursive_definition of string
+
+val eval : ?fuel:Limits.fuel -> Defs.t -> Db.t -> Expr.t -> Value.t
+(** Raises {!Recursive_definition} when the expression reaches a defined
+    constant that (transitively) refers to itself, and
+    [Limits.Diverged] when an [IFP] fails to converge within fuel. *)
+
+val eval_closed : ?fuel:Limits.fuel -> Db.t -> Expr.t -> Value.t
+(** Evaluation with no definitions in scope. *)

@@ -1,0 +1,35 @@
+(** Concrete syntax for [algebra=] programs.
+
+    {v
+    % a program is a list of definitions and one optional query
+    let win = pi1(move - (pi1(move) x win));
+    let evens = {0} + map[add(id, 2)](evens);
+    let inter(a, b) = $a - ($a - $b);
+    query win;
+    v}
+
+    Expressions: [+] union, [-] difference, [x] product (all left
+    associative, equal precedence — parenthesise), [{e1, e2}] set
+    literals, [pi1]/[pi2]/... projections, [sel[pred](e)] selection,
+    [map[efun](e)] restructuring, [ifp v. e] inflationary fixpoints,
+    [$a] parameters, [f(e1, ..., en)] calls of defined operations, bare
+    names for relations and defined constants.
+
+    Element functions: [id], [pi1], [pi2], ..., integer and symbol
+    constants, [[f1, f2]] tuple formation, [f . g] composition,
+    [name(f1, ..., fn)] function application (interpreted or
+    constructor), [arg(name, i)] constructor destructors.
+
+    Tests: [f = g], [f != g], [f < g], [f <= g], [is(name, arity, f)],
+    [test and test], [test or test], [not test], [true], [false].
+
+    Values inside set literals: integers, symbols, [\[v1, v2\]] tuples,
+    nested [{...}] sets. *)
+
+open Recalg_kernel
+
+type program = { defs : Defs.t; query : Expr.t option }
+
+val parse_expr : ?builtins:Builtins.t -> string -> (Expr.t, string) result
+val parse_program : ?builtins:Builtins.t -> string -> (program, string) result
+val parse_program_exn : ?builtins:Builtins.t -> string -> program

@@ -1,0 +1,66 @@
+open Recalg_kernel
+
+let rec value ppf v =
+  match v with
+  | Value.Int k -> Fmt.int ppf k
+  | Value.Sym s -> Fmt.string ppf s
+  | Value.Tuple vs -> Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any ", ") value) vs
+  | Value.Set vs -> Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") value) vs
+  | Value.Bool _ | Value.Str _ | Value.Cstr _ ->
+    invalid_arg "Printer: value has no concrete syntax"
+
+let rec efun ppf f =
+  match f with
+  | Efun.Id -> Fmt.string ppf "id"
+  | Efun.Proj i -> Fmt.pf ppf "pi%d" i
+  | Efun.Tuple_of fs -> Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any ", ") efun) fs
+  | Efun.Const v -> value ppf v
+  | Efun.App (name, fs) ->
+    Fmt.pf ppf "%s(%a)" name Fmt.(list ~sep:(any ", ") efun) fs
+  | Efun.Arg (name, i) -> Fmt.pf ppf "arg(%s, %d)" name i
+  | Efun.Compose (f, g) -> Fmt.pf ppf "((%a) . (%a))" efun f efun g
+
+let rec pred ppf p =
+  match p with
+  | Pred.True -> Fmt.string ppf "true"
+  | Pred.False -> Fmt.string ppf "false"
+  | Pred.Eq (f, g) -> Fmt.pf ppf "(%a) = (%a)" efun f efun g
+  | Pred.Neq (f, g) -> Fmt.pf ppf "(%a) != (%a)" efun f efun g
+  | Pred.Lt (f, g) -> Fmt.pf ppf "(%a) < (%a)" efun f efun g
+  | Pred.Leq (f, g) -> Fmt.pf ppf "(%a) <= (%a)" efun f efun g
+  | Pred.Is_cstr (name, arity, f) -> Fmt.pf ppf "is(%s, %d, %a)" name arity efun f
+  | Pred.Mem (f, g) -> Fmt.pf ppf "(%a) in (%a)" efun f efun g
+  | Pred.And (a, b) -> Fmt.pf ppf "(%a and %a)" pred a pred b
+  | Pred.Or (a, b) -> Fmt.pf ppf "(%a or %a)" pred a pred b
+  | Pred.Not a -> Fmt.pf ppf "not (%a)" pred a
+
+let rec expr ppf e =
+  match e with
+  | Expr.Rel name -> Fmt.string ppf name
+  | Expr.Lit v -> value ppf v
+  | Expr.Param x -> Fmt.pf ppf "$%s" x
+  | Expr.Union (a, b) -> Fmt.pf ppf "(%a + %a)" expr a expr b
+  | Expr.Diff (a, b) -> Fmt.pf ppf "(%a - %a)" expr a expr b
+  | Expr.Product (a, b) -> Fmt.pf ppf "(%a x %a)" expr a expr b
+  | Expr.Select (p, a) -> Fmt.pf ppf "sel[%a](%a)" pred p expr a
+  | Expr.Map (f, a) -> Fmt.pf ppf "map[%a](%a)" efun f expr a
+  | Expr.Ifp (v, a) -> Fmt.pf ppf "ifp %s. (%a)" v expr a
+  | Expr.Call (name, args) ->
+    Fmt.pf ppf "%s(%a)" name Fmt.(list ~sep:(any ", ") expr) args
+
+let program ppf ?query defs =
+  List.iter
+    (fun (d : Defs.def) ->
+      match d.Defs.params with
+      | [] -> Fmt.pf ppf "@[<h>let %s = %a;@]@." d.Defs.name expr d.Defs.body
+      | ps ->
+        Fmt.pf ppf "@[<h>let %s(%a) = %a;@]@." d.Defs.name
+          Fmt.(list ~sep:(any ", ") string)
+          ps expr d.Defs.body)
+    (Defs.defs defs);
+  match query with
+  | Some q -> Fmt.pf ppf "@[<h>query %a;@]@." expr q
+  | None -> ()
+
+let expr_to_string e = Fmt.str "%a" expr e
+let program_to_string ?query defs = Fmt.str "%a" (fun ppf d -> program ppf ?query d) defs

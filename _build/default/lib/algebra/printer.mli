@@ -1,0 +1,17 @@
+(** Printing in the concrete syntax {!Parser} reads back.
+
+    [Expr.pp] and friends print a mathematical notation for docs and
+    error messages; this module prints programs that re-parse, so
+    translated or generated [algebra=] programs can be exported as
+    [.alg] files. Boolean and string constants have no literal syntax
+    and fail; symbol values print as bare identifiers. *)
+
+val efun : Format.formatter -> Efun.t -> unit
+val pred : Format.formatter -> Pred.t -> unit
+val expr : Format.formatter -> Expr.t -> unit
+
+val program : Format.formatter -> ?query:Expr.t -> Defs.t -> unit
+(** The full [let ... ; query ...;] form. *)
+
+val expr_to_string : Expr.t -> string
+val program_to_string : ?query:Expr.t -> Defs.t -> string

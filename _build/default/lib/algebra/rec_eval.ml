@@ -1,0 +1,152 @@
+open Recalg_kernel
+
+exception Undefined_relation of string
+
+type vset = { low : Value.t; high : Value.t }
+
+let member s v =
+  if Value.mem v s.low then Tvl.True
+  else if Value.mem v s.high then Tvl.Undef
+  else Tvl.False
+
+let exact v = { low = v; high = v }
+let is_defined s = Value.equal s.low s.high
+
+let undef_elements s = Value.elements (Value.diff s.high s.low)
+
+let pp_vset ppf s =
+  if is_defined s then Value.pp ppf s.low
+  else Fmt.pf ppf "[certain %a, possible %a]" Value.pp s.low Value.pp s.high
+
+let vset_union a b = { low = Value.union a.low b.low; high = Value.union a.high b.high }
+let vset_equal a b = Value.equal a.low b.low && Value.equal a.high b.high
+
+module Smap = Map.Make (String)
+
+type solution = {
+  lows : Value.t Smap.t;
+  highs : Value.t Smap.t;
+  defs : Defs.t;  (* inlined *)
+  db : Db.t;
+  fuel : Limits.fuel;
+  window : Value.t option;
+  rounds : int;
+}
+
+(* Three-valued evaluation of an inlined expression given current bounds
+   for the defined constants. The difference operator realises the valid
+   reading of subtraction: an element is certainly in [a - b] when it is
+   certainly in [a] and not possibly in [b]; possibly in [a - b] when
+   possibly in [a] and not certainly in [b]. *)
+let rec eval_vset builtins db lows highs fuel env e =
+  let recur = eval_vset builtins db lows highs fuel in
+  match e with
+  | Expr.Rel name -> (
+    match List.assoc_opt name env with
+    | Some s -> s
+    | None -> (
+      match Smap.find_opt name lows with
+      | Some low -> { low; high = Smap.find name highs }
+      | None -> (
+        match Db.find db name with
+        | Some v -> exact v
+        | None -> raise (Undefined_relation name))))
+  | Expr.Lit v -> exact v
+  | Expr.Param x -> invalid_arg ("Rec_eval: unsubstituted parameter " ^ x)
+  | Expr.Union (a, b) -> vset_union (recur env a) (recur env b)
+  | Expr.Diff (a, b) ->
+    let sa = recur env a and sb = recur env b in
+    { low = Value.diff sa.low sb.high; high = Value.diff sa.high sb.low }
+  | Expr.Product (a, b) ->
+    let sa = recur env a and sb = recur env b in
+    { low = Value.product sa.low sb.low; high = Value.product sa.high sb.high }
+  | Expr.Select (p, a) ->
+    let sa = recur env a in
+    let keep v = Pred.eval builtins p v = Some true in
+    { low = Value.filter keep sa.low; high = Value.filter keep sa.high }
+  | Expr.Map (f, a) ->
+    let sa = recur env a in
+    let apply = Efun.apply builtins f in
+    { low = Value.filter_map_set apply sa.low;
+      high = Value.filter_map_set apply sa.high }
+  | Expr.Ifp (x, body) ->
+    let rec iterate s =
+      Limits.spend fuel ~what:"Rec_eval: IFP iteration";
+      let s' = vset_union s (recur ((x, s) :: env) body) in
+      if vset_equal s s' then s else iterate s'
+    in
+    iterate (exact Value.empty_set)
+  | Expr.Call _ -> invalid_arg "Rec_eval: Call survived inlining"
+
+let clip window v =
+  match window with
+  | None -> v
+  | Some u -> Value.inter v u
+
+let solve ?(fuel = Limits.default ()) ?window defs db =
+  let inlined = Defs.inline_all defs in
+  let builtins = Defs.builtins inlined in
+  let names = Defs.constant_names inlined in
+  let body name =
+    match Defs.find inlined name with
+    | Some d -> d.Defs.body
+    | None -> assert false
+  in
+  let empty_map = List.fold_left (fun m n -> Smap.add n Value.empty_set m) Smap.empty names in
+  (* Least fixpoint of one phase: recompute every constant from the given
+     evaluation until nothing changes. [project] picks which bound the
+     phase refines. *)
+  let phase_lfp ~eval_bounds ~project =
+    let rec iterate current =
+      Limits.spend fuel ~what:"Rec_eval: phase iteration";
+      let next =
+        List.fold_left
+          (fun acc name ->
+            let s = eval_bounds current (body name) in
+            Smap.add name (clip window (project s)) acc)
+          current names
+      in
+      if Smap.equal Value.equal current next then current else iterate next
+    in
+    iterate empty_map
+  in
+  let rec outer lows_prev rounds =
+    Limits.spend fuel ~what:"Rec_eval: outer round";
+    (* High phase: lows fixed at the previous round's value, highs grow
+       from the empty map to their least fixpoint. *)
+    let highs =
+      phase_lfp
+        ~eval_bounds:(fun highs_cur e ->
+          eval_vset builtins db lows_prev highs_cur fuel [] e)
+        ~project:(fun s -> s.high)
+    in
+    (* Low phase: highs fixed, lows grow from the empty map. *)
+    let lows =
+      phase_lfp
+        ~eval_bounds:(fun lows_cur e ->
+          eval_vset builtins db lows_cur highs fuel [] e)
+        ~project:(fun s -> s.low)
+    in
+    if Smap.equal Value.equal lows lows_prev then
+      { lows; highs; defs = inlined; db; fuel; window; rounds }
+    else outer lows (rounds + 1)
+  in
+  outer empty_map 1
+
+let constant sol name =
+  match Smap.find_opt name sol.lows with
+  | Some low -> { low; high = Smap.find name sol.highs }
+  | None -> raise (Undefined_relation name)
+
+let rounds sol = sol.rounds
+
+let eval ?fuel ?window defs db expr =
+  let sol = solve ?fuel ?window defs db in
+  let inlined_expr = Defs.inline sol.defs (Defs.inline defs expr) in
+  eval_vset (Defs.builtins sol.defs) sol.db sol.lows sol.highs sol.fuel [] inlined_expr
+
+let well_defined ?fuel ?window defs db =
+  let sol = solve ?fuel ?window defs db in
+  List.for_all
+    (fun name -> is_defined (constant sol name))
+    (Defs.constant_names sol.defs)

@@ -1,0 +1,1 @@
+lib/datalog/dterm.ml: Builtins Fmt List Recalg_kernel String Subst Value

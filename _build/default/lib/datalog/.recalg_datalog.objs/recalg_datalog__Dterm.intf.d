@@ -1,0 +1,1 @@
+lib/datalog/dterm.mli: Builtins Format Recalg_kernel Subst Value

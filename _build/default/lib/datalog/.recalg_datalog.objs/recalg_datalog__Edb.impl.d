@@ -1,0 +1,1 @@
+lib/datalog/edb.ml: Fmt List Map Option Recalg_kernel Set String Value

@@ -1,0 +1,1 @@
+lib/datalog/edb.mli: Format Recalg_kernel Value

@@ -1,0 +1,1 @@
+lib/datalog/fixpoint.ml: Array Bitset List Propgm Queue Recalg_kernel

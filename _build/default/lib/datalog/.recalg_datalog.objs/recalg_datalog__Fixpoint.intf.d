@@ -1,0 +1,1 @@
+lib/datalog/fixpoint.mli: Bitset Propgm Recalg_kernel

@@ -1,0 +1,1 @@
+lib/datalog/grounder.ml: Array Dterm Edb Hashtbl Int Interner Limits List Literal Program Propgm Recalg_kernel Rule Safety Set String Subst Value

@@ -1,0 +1,1 @@
+lib/datalog/grounder.mli: Edb Program Propgm Recalg_kernel

@@ -1,0 +1,1 @@
+lib/datalog/inflationary.ml: Bitset Fixpoint Interp List Propgm Recalg_kernel

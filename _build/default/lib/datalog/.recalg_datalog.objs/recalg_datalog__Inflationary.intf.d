@@ -1,0 +1,1 @@
+lib/datalog/inflationary.mli: Interp Propgm Recalg_kernel

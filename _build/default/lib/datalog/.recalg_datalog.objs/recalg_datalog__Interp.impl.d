@@ -1,0 +1,1 @@
+lib/datalog/interp.ml: Bitset Edb Fmt List Propgm Recalg_kernel Set String Tvl Value

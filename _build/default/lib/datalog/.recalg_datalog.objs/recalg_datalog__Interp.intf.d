@@ -1,0 +1,1 @@
+lib/datalog/interp.mli: Bitset Edb Format Propgm Recalg_kernel Tvl Value

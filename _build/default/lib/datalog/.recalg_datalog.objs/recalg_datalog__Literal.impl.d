@@ -1,0 +1,1 @@
+lib/datalog/literal.ml: Dterm Fmt Int List String

@@ -1,0 +1,1 @@
+lib/datalog/literal.mli: Builtins Dterm Format Recalg_kernel Subst Value

@@ -1,0 +1,1 @@
+lib/datalog/parser.ml: Builtins Dterm Edb Fmt List Literal Program Recalg_kernel Rule String Subst Value

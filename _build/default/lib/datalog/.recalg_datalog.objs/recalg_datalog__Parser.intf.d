@@ -1,0 +1,1 @@
+lib/datalog/parser.mli: Builtins Dterm Edb Program Recalg_kernel Rule

@@ -1,0 +1,1 @@
+lib/datalog/program.ml: Builtins Dterm Fmt List Literal Recalg_kernel Rule String Value

@@ -1,0 +1,1 @@
+lib/datalog/program.mli: Builtins Format Recalg_kernel Rule Value

@@ -1,0 +1,1 @@
+lib/datalog/propgm.ml: Array Fmt Interner Recalg_kernel Value

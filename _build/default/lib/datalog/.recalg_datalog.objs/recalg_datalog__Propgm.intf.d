@@ -1,0 +1,1 @@
+lib/datalog/propgm.mli: Format Interner Recalg_kernel Value

@@ -1,0 +1,1 @@
+lib/datalog/query.ml: Dterm Interp List Literal Option Program Recalg_kernel Run Subst Tvl Value

@@ -1,0 +1,1 @@
+lib/datalog/query.mli: Builtins Edb Interp Limits Literal Program Recalg_kernel Tvl Value

@@ -1,0 +1,1 @@
+lib/datalog/rule.ml: Dterm Fmt List Literal

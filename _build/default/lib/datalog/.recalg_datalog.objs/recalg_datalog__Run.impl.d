@@ -1,0 +1,1 @@
+lib/datalog/run.ml: Grounder Inflationary Interp Seminaive Stable Valid Wellfounded

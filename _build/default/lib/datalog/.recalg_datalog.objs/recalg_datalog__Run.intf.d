@@ -1,0 +1,1 @@
+lib/datalog/run.mli: Edb Interp Limits Program Recalg_kernel Tvl Value

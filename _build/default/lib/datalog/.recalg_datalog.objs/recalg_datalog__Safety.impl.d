@@ -1,0 +1,1 @@
+lib/datalog/safety.ml: Dterm Fmt List Literal Program Result Rule Set String

@@ -1,0 +1,1 @@
+lib/datalog/safety.mli: Format Literal Program Recalg_kernel Rule

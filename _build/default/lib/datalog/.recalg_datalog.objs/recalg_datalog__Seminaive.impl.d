@@ -1,0 +1,1 @@
+lib/datalog/seminaive.ml: Dterm Edb Fmt Hashtbl Limits List Literal Program Recalg_kernel Rule Safety Set Stratify Subst Value

@@ -1,0 +1,1 @@
+lib/datalog/seminaive.mli: Edb Limits Program Recalg_kernel Rule

@@ -1,0 +1,1 @@
+lib/datalog/stable.ml: Bitset Fixpoint Fmt Interp Limits List Recalg_kernel Wellfounded

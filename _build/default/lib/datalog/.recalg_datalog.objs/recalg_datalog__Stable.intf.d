@@ -1,0 +1,1 @@
+lib/datalog/stable.mli: Bitset Interp Propgm Recalg_kernel

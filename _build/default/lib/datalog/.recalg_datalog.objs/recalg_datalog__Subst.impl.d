@@ -1,0 +1,1 @@
+lib/datalog/subst.ml: Fmt Map Recalg_kernel String Value

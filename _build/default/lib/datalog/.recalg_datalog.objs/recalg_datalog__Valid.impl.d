@@ -1,0 +1,1 @@
+lib/datalog/valid.ml: Bitset Fixpoint Interp Propgm Recalg_kernel

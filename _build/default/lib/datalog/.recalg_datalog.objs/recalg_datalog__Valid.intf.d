@@ -1,0 +1,1 @@
+lib/datalog/valid.mli: Interp Propgm Recalg_kernel

@@ -1,0 +1,1 @@
+lib/datalog/wellfounded.ml: Bitset Fixpoint Interp Propgm Recalg_kernel

@@ -1,0 +1,1 @@
+lib/datalog/wellfounded.mli: Interp Propgm Recalg_kernel

@@ -1,0 +1,112 @@
+open Recalg_kernel
+
+type t =
+  | Var of string
+  | Cst of Value.t
+  | App of string * t list
+
+let var x = Var x
+let cst v = Cst v
+let int n = Cst (Value.int n)
+let sym s = Cst (Value.sym s)
+let app f args = App (f, args)
+
+let rec compare a b =
+  match a, b with
+  | Var x, Var y -> String.compare x y
+  | Var _, _ -> -1
+  | _, Var _ -> 1
+  | Cst v, Cst w -> Value.compare v w
+  | Cst _, _ -> -1
+  | _, Cst _ -> 1
+  | App (f, xs), App (g, ys) ->
+    let c = String.compare f g in
+    if c <> 0 then c else List.compare compare xs ys
+
+let equal a b = compare a b = 0
+
+let vars t =
+  let rec go acc t =
+    match t with
+    | Var x -> if List.mem x acc then acc else x :: acc
+    | Cst _ -> acc
+    | App (_, args) -> List.fold_left go acc args
+  in
+  List.rev (go [] t)
+
+let rec is_ground t =
+  match t with
+  | Var _ -> false
+  | Cst _ -> true
+  | App (_, args) -> List.for_all is_ground args
+
+let extractable_vars builtins t =
+  let rec go acc t =
+    match t with
+    | Var x -> if List.mem x acc then acc else x :: acc
+    | Cst _ -> acc
+    | App (f, args) ->
+      if Builtins.is_interpreted builtins f then acc
+      else List.fold_left go acc args
+  in
+  List.rev (go [] t)
+
+let rec eval builtins subst t =
+  match t with
+  | Var x -> Subst.find x subst
+  | Cst v -> Some v
+  | App (f, args) ->
+    let rec eval_args acc args =
+      match args with
+      | [] -> Some (List.rev acc)
+      | a :: rest -> (
+        match eval builtins subst a with
+        | Some v -> eval_args (v :: acc) rest
+        | None -> None)
+    in
+    (match eval_args [] args with
+    | Some vs -> Builtins.apply builtins f vs
+    | None -> None)
+
+let rec match_value builtins t v subst =
+  match t with
+  | Var x -> Subst.bind_consistent x v subst
+  | Cst w -> if Value.equal v w then Some subst else None
+  | App (f, args) ->
+    if Builtins.is_interpreted builtins f then
+      (* Cannot invert an interpreted function: evaluate and compare. *)
+      match eval builtins subst t with
+      | Some w when Value.equal v w -> Some subst
+      | Some _ | None -> None
+    else (
+      (* Free constructor: destructure. *)
+      match v with
+      | Value.Cstr (g, vs) when String.equal f g && List.length vs = List.length args ->
+        let rec go subst args vs =
+          match args, vs with
+          | [], [] -> Some subst
+          | a :: args', v :: vs' -> (
+            match match_value builtins a v subst with
+            | Some subst' -> go subst' args' vs'
+            | None -> None)
+          | _, _ -> None
+        in
+        go subst args vs
+      | Value.Cstr _ | Value.Int _ | Value.Str _ | Value.Bool _ | Value.Sym _
+      | Value.Tuple _ | Value.Set _ ->
+        None)
+
+let rec rename f t =
+  match t with
+  | Var x -> Var (f x)
+  | Cst _ -> t
+  | App (g, args) -> App (g, List.map (rename f) args)
+
+let rec pp ppf t =
+  match t with
+  | Var x -> Fmt.string ppf x
+  | Cst v -> Value.pp ppf v
+  | App (f, []) -> Fmt.pf ppf "%s()" f
+  | App (f, args) -> Fmt.pf ppf "@[<h>%s(%a)@]" f Fmt.(list ~sep:comma pp) args
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,49 @@
+(** Terms of the deductive language.
+
+    A term is a variable, a constant value, or a function application. The
+    paper's deductive language permits "all the types and operations from
+    SPEC" inside rules (Section 4): applications of names registered in the
+    program's {!Recalg_kernel.Builtins.t} are interpreted (e.g. integer
+    [add]), all other applications are free constructors building
+    Herbrand-universe values ([Value.Cstr]). *)
+
+open Recalg_kernel
+
+type t =
+  | Var of string
+  | Cst of Value.t
+  | App of string * t list
+
+val var : string -> t
+val cst : Value.t -> t
+val int : int -> t
+val sym : string -> t
+val app : string -> t list -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val vars : t -> string list
+(** Free variables, each once, in first-occurrence order. *)
+
+val is_ground : t -> bool
+
+val extractable_vars : Builtins.t -> t -> string list
+(** Variables of [t] that occur only under free constructors, i.e. that a
+    positive occurrence of [t] can bind by destructuring a matching value.
+    Variables under an interpreted function are not extractable (one cannot
+    invert [add]). *)
+
+val eval : Builtins.t -> Subst.t -> t -> Value.t option
+(** Evaluate a term under a substitution. [None] if a variable is unbound
+    or an interpreted function is undefined on its arguments. *)
+
+val match_value : Builtins.t -> t -> Value.t -> Subst.t -> Subst.t option
+(** One-way matching: extend the substitution so that [t] evaluates to the
+    given value, destructuring free-constructor applications. Interpreted
+    applications must already be ground under the substitution; they are
+    evaluated and compared. *)
+
+val rename : (string -> string) -> t -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

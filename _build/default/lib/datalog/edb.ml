@@ -1,0 +1,53 @@
+open Recalg_kernel
+module Smap = Map.Make (String)
+
+module Tuples = Set.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare
+end)
+
+type t = Tuples.t Smap.t
+
+let empty = Smap.empty
+
+let add pred tup db =
+  let existing = Option.value ~default:Tuples.empty (Smap.find_opt pred db) in
+  Smap.add pred (Tuples.add tup existing) db
+
+let add_all pred tups db = List.fold_left (fun db tup -> add pred tup db) db tups
+
+let of_list l =
+  List.fold_left (fun db (pred, tups) -> add_all pred tups db) empty l
+
+let mem db pred tup =
+  match Smap.find_opt pred db with
+  | Some set -> Tuples.mem tup set
+  | None -> false
+
+let tuples db pred =
+  match Smap.find_opt pred db with
+  | Some set -> Tuples.elements set
+  | None -> []
+
+let preds db = List.map fst (Smap.bindings db)
+
+let cardinal db pred =
+  match Smap.find_opt pred db with
+  | Some set -> Tuples.cardinal set
+  | None -> 0
+
+let union a b = Smap.union (fun _ x y -> Some (Tuples.union x y)) a b
+let equal a b = Smap.equal Tuples.equal a b
+
+let fold f db acc =
+  Smap.fold (fun pred set acc -> Tuples.fold (fun tup acc -> f pred tup acc) set acc) db acc
+
+let pp ppf db =
+  let pp_tuple ppf tup =
+    Fmt.pf ppf "(%a)" Fmt.(list ~sep:comma Value.pp) tup
+  in
+  Smap.iter
+    (fun pred set ->
+      Tuples.iter (fun tup -> Fmt.pf ppf "%s%a.@ " pred pp_tuple tup) set)
+    db

@@ -1,0 +1,25 @@
+(** Extensional databases: named finite relations over values.
+
+    A database is "a collection of named sets (every set is a database
+    'relation')" (Section 3); tuples are lists of values, so both flat
+    relations and complex-object relations (tuples containing sets or
+    constructor terms) are covered. *)
+
+open Recalg_kernel
+
+type t
+
+val empty : t
+val add : string -> Value.t list -> t -> t
+val add_all : string -> Value.t list list -> t -> t
+val of_list : (string * Value.t list list) list -> t
+val mem : t -> string -> Value.t list -> bool
+val tuples : t -> string -> Value.t list list
+(** Sorted, duplicate-free; empty list for an unknown relation. *)
+
+val preds : t -> string list
+val cardinal : t -> string -> int
+val union : t -> t -> t
+val equal : t -> t -> bool
+val fold : (string -> Value.t list -> 'a -> 'a) -> t -> 'a -> 'a
+val pp : Format.formatter -> t -> unit

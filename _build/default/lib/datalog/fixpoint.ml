@@ -1,0 +1,50 @@
+open Recalg_kernel
+
+let lfp (pg : Propgm.t) ~neg_ok =
+  let n = Propgm.n_atoms pg in
+  let truths = Bitset.create n in
+  let rules = pg.Propgm.rules in
+  let nrules = Array.length rules in
+  (* Counting propagation: remaining.(r) = positive literals of rule r not
+     yet satisfied; watch.(a) = rules in which atom a occurs positively
+     (with multiplicity). *)
+  let remaining = Array.make nrules 0 in
+  let watch = Array.make n [] in
+  let queue = Queue.create () in
+  let alive = Array.make nrules true in
+  Array.iteri
+    (fun ri rule ->
+      if Array.exists (fun a -> not (neg_ok a)) rule.Propgm.neg then
+        alive.(ri) <- false
+      else begin
+        remaining.(ri) <- Array.length rule.Propgm.pos;
+        Array.iter (fun a -> watch.(a) <- ri :: watch.(a)) rule.Propgm.pos;
+        if remaining.(ri) = 0 then Queue.add rule.Propgm.head queue
+      end)
+    rules;
+  while not (Queue.is_empty queue) do
+    let a = Queue.pop queue in
+    if not (Bitset.get truths a) then begin
+      Bitset.set truths a;
+      List.iter
+        (fun ri ->
+          if alive.(ri) then begin
+            remaining.(ri) <- remaining.(ri) - 1;
+            if remaining.(ri) = 0 then Queue.add rules.(ri).Propgm.head queue
+          end)
+        watch.(a)
+    end
+  done;
+  truths
+
+let one_step (pg : Propgm.t) ~current ~neg_ok =
+  let n = Propgm.n_atoms pg in
+  let out = Bitset.create n in
+  Array.iter
+    (fun rule ->
+      if
+        Array.for_all (Bitset.get current) rule.Propgm.pos
+        && Array.for_all neg_ok rule.Propgm.neg
+      then Bitset.set out rule.Propgm.head)
+    pg.Propgm.rules;
+  out

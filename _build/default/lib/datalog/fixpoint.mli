@@ -1,0 +1,18 @@
+(** Least fixpoints of propositional ground programs.
+
+    The single primitive all the declarative semantics share: compute the
+    least set of atoms closed under the rules, where a rule may fire only
+    if each of its negative literals [not a] is {e licensed} by the caller
+    ([neg_ok a]). The valid-semantics iteration of Section 2.2 and the
+    well-founded alternating fixpoint are both two-phase loops around this
+    primitive with different licensing functions. *)
+
+open Recalg_kernel
+
+val lfp : Propgm.t -> neg_ok:(int -> bool) -> Bitset.t
+(** Linear-time counting propagation. *)
+
+val one_step : Propgm.t -> current:Bitset.t -> neg_ok:(int -> bool) -> Bitset.t
+(** Immediate-consequence operator: atoms derivable in one rule application
+    from [current] (the result includes [current]'s consequences only, not
+    [current] itself). *)

@@ -1,0 +1,207 @@
+open Recalg_kernel
+
+exception Unsafe of string
+
+module Tuples = Set.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare
+end)
+
+type store = {
+  mutable full : Tuples.t;  (* envelope facts from earlier rounds *)
+  mutable delta : Tuples.t; (* facts new in the current round *)
+  mutable next : Tuples.t;  (* facts discovered during this round *)
+}
+
+let fresh_store () = { full = Tuples.empty; delta = Tuples.empty; next = Tuples.empty }
+
+type state = {
+  program : Program.t;
+  fuel : Limits.fuel;
+  atoms : Propgm.fact Interner.t;
+  stores : (string, store) Hashtbl.t;
+  seen_rules : (int * int list * int list, unit) Hashtbl.t;
+  mutable ground_rules : Propgm.rule list;
+}
+
+let store_of st pred =
+  match Hashtbl.find_opt st.stores pred with
+  | Some s -> s
+  | None ->
+    let s = fresh_store () in
+    Hashtbl.add st.stores pred s;
+    s
+
+let intern_fact st fact =
+  match Interner.find_opt st.atoms fact with
+  | Some id -> id
+  | None ->
+    Limits.spend st.fuel ~what:"grounder: atom";
+    Interner.intern st.atoms fact
+
+let discover st pred tup =
+  let s = store_of st pred in
+  if not (Tuples.mem tup s.full || Tuples.mem tup s.delta || Tuples.mem tup s.next)
+  then s.next <- Tuples.add tup s.next
+
+let emit_rule st ~head ~pos ~neg =
+  let key = (head, List.sort Int.compare pos, List.sort Int.compare neg) in
+  if not (Hashtbl.mem st.seen_rules key) then begin
+    Hashtbl.add st.seen_rules key ();
+    Limits.spend st.fuel ~what:"grounder: rule instance";
+    st.ground_rules <-
+      { Propgm.head; pos = Array.of_list pos; neg = Array.of_list neg }
+      :: st.ground_rules;
+    let pred, tup = Interner.get st.atoms head in
+    discover st pred tup
+  end
+
+(* Enumerate all substitutions satisfying the ordered body within the
+   current envelope, calling [k] on each complete one. [idx] counts body
+   positions; when [delta_pos = Some d], the positive literal at position
+   [d] scans only the delta, positions before [d] scan only older facts,
+   and positions after scan everything — the semi-naive split. *)
+let rec solve st body idx delta_pos subst k =
+  let builtins = st.program.Program.builtins in
+  match body with
+  | [] -> k subst
+  | Literal.Pos a :: rest ->
+    let s = store_of st a.Literal.pred in
+    let tuples =
+      match delta_pos with
+      | Some d when d = idx -> s.delta
+      | Some d when d > idx -> s.full
+      | Some _ | None -> Tuples.union s.full s.delta
+    in
+    Tuples.iter
+      (fun tup ->
+        let rec match_args subst args vals =
+          match args, vals with
+          | [], [] -> Some subst
+          | t :: args', v :: vals' -> (
+            match Dterm.match_value builtins t v subst with
+            | Some subst' -> match_args subst' args' vals'
+            | None -> None)
+          | _, _ -> None
+        in
+        match match_args subst a.Literal.args tup with
+        | Some subst' -> solve st rest (idx + 1) delta_pos subst' k
+        | None -> ())
+      tuples
+  | Literal.Neg _ :: rest ->
+    (* Recorded later from the complete substitution; never filters. *)
+    solve st rest (idx + 1) delta_pos subst k
+  | Literal.Eq (t1, t2) :: rest -> (
+    match Dterm.eval builtins subst t1, Dterm.eval builtins subst t2 with
+    | Some v1, Some v2 ->
+      if Value.equal v1 v2 then solve st rest (idx + 1) delta_pos subst k
+    | Some v, None -> (
+      match Dterm.match_value builtins t2 v subst with
+      | Some subst' -> solve st rest (idx + 1) delta_pos subst' k
+      | None -> ())
+    | None, Some v -> (
+      match Dterm.match_value builtins t1 v subst with
+      | Some subst' -> solve st rest (idx + 1) delta_pos subst' k
+      | None -> ())
+    | None, None -> ())
+  | Literal.Neq (t1, t2) :: rest -> (
+    match Dterm.eval builtins subst t1, Dterm.eval builtins subst t2 with
+    | Some v1, Some v2 ->
+      if not (Value.equal v1 v2) then solve st rest (idx + 1) delta_pos subst k
+    | _, _ -> ())
+
+let instantiate_rule st (r : Rule.t) ordered_body ~delta_pos =
+  let builtins = st.program.Program.builtins in
+  solve st ordered_body 0 delta_pos Subst.empty (fun subst ->
+      match Literal.ground_atom builtins subst r.Rule.head with
+      | Some head_fact ->
+        let head = intern_fact st head_fact in
+        let pos_ids, neg_ids =
+          List.fold_left
+            (fun (ps, ns) lit ->
+              match lit with
+              | Literal.Pos a -> (
+                match Literal.ground_atom builtins subst a with
+                | Some f -> (intern_fact st f :: ps, ns)
+                | None -> (ps, ns))
+              | Literal.Neg a -> (
+                match Literal.ground_atom builtins subst a with
+                | Some f -> (ps, intern_fact st f :: ns)
+                | None -> (ps, ns))
+              | Literal.Eq _ | Literal.Neq _ -> (ps, ns))
+            ([], []) ordered_body
+        in
+        emit_rule st ~head ~pos:(List.rev pos_ids) ~neg:(List.rev neg_ids)
+      | None -> ())
+
+let ground ?(fuel = Limits.default ()) ?(strategy = `Seminaive) program edb =
+  let st =
+    {
+      program;
+      fuel;
+      atoms =
+        Interner.create ~hash:Hashtbl.hash
+          ~equal:(fun (p, a) (q, b) -> String.equal p q && List.equal Value.equal a b)
+          ();
+      stores = Hashtbl.create 16;
+      seen_rules = Hashtbl.create 256;
+      ground_rules = [];
+    }
+  in
+  (* Seed the envelope with the extensional database; EDB facts become
+     body-less ground rules so every semantics sees them as axioms. *)
+  Edb.fold
+    (fun pred tup () ->
+      let id = intern_fact st (pred, tup) in
+      emit_rule st ~head:id ~pos:[] ~neg:[])
+    edb ();
+  let ordered_bodies =
+    List.map
+      (fun (r : Rule.t) ->
+        match Safety.evaluation_order program.Program.builtins r.Rule.body with
+        | Ok body -> (r, body)
+        | Error msg -> raise (Unsafe msg))
+      program.Program.rules
+  in
+  let promote () =
+    Hashtbl.iter
+      (fun _ s ->
+        s.full <- Tuples.union s.full s.delta;
+        s.delta <- s.next;
+        s.next <- Tuples.empty)
+      st.stores
+  in
+  let delta_nonempty () =
+    Hashtbl.fold (fun _ s acc -> acc || not (Tuples.is_empty s.delta)) st.stores false
+  in
+  promote ();
+  (* First pass without a delta restriction covers rules whose bodies have
+     no positive literal and seeds everything else. *)
+  List.iter (fun (r, body) -> instantiate_rule st r body ~delta_pos:None) ordered_bodies;
+  promote ();
+  (match strategy with
+  | `Seminaive ->
+    while delta_nonempty () do
+      List.iter
+        (fun (r, body) ->
+          List.iteri
+            (fun i lit ->
+              match lit with
+              | Literal.Pos _ -> instantiate_rule st r body ~delta_pos:(Some i)
+              | Literal.Neg _ | Literal.Eq _ | Literal.Neq _ -> ())
+            body)
+        ordered_bodies;
+      promote ()
+    done
+  | `Naive ->
+    let changed = ref true in
+    while !changed do
+      let before = Hashtbl.length st.seen_rules in
+      List.iter
+        (fun (r, body) -> instantiate_rule st r body ~delta_pos:None)
+        ordered_bodies;
+      promote ();
+      changed := Hashtbl.length st.seen_rules > before || delta_nonempty ()
+    done);
+  { Propgm.atoms = st.atoms; rules = Array.of_list (List.rev st.ground_rules) }

@@ -1,0 +1,25 @@
+(** Instantiation of safe programs into propositional form.
+
+    Grounding proceeds over the {e positive envelope}: the least set of
+    facts derivable when every negative literal is ignored. For safe
+    programs over a finite database this envelope is finite unless
+    interpreted functions generate fresh values without bound; the [fuel]
+    budget turns that (undecidable — Prop 6.3) divergence into a
+    {!Recalg_kernel.Limits.Diverged} exception.
+
+    Every rule instance whose positive atoms lie in the envelope and whose
+    (in)equality literals hold is emitted; negative literals are
+    {e recorded}, not decided — deciding them is the job of the semantics
+    (inflationary, well-founded, valid, stable) applied afterwards. *)
+
+exception Unsafe of string
+(** Raised when a rule body admits no evaluable literal ordering. *)
+
+val ground :
+  ?fuel:Recalg_kernel.Limits.fuel ->
+  ?strategy:[ `Seminaive | `Naive ] ->
+  Program.t -> Edb.t -> Propgm.t
+(** [strategy] (default [`Seminaive]) selects delta-restricted
+    instantiation or full re-instantiation every round — the two produce
+    identical propositional programs; the naive mode exists for the
+    engine-ablation benchmark. *)

@@ -1,0 +1,25 @@
+open Recalg_kernel
+
+let step pg current =
+  let out = Fixpoint.one_step pg ~current ~neg_ok:(fun a -> not (Bitset.get current a)) in
+  Bitset.union_into ~dst:out current;
+  out
+
+let stages (pg : Propgm.t) =
+  let n = Propgm.n_atoms pg in
+  let rec go acc current =
+    let next = step pg current in
+    if Bitset.equal next current then List.rev acc
+    else go (next :: acc) next
+  in
+  go [] (Bitset.create n)
+
+let solve_raw pg =
+  let n = Propgm.n_atoms pg in
+  let rec go current =
+    let next = step pg current in
+    if Bitset.equal next current then current else go next
+  in
+  go (Bitset.create n)
+
+let solve pg = Interp.of_true pg (solve_raw pg)

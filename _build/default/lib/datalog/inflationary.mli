@@ -1,0 +1,14 @@
+(** Inflationary fixpoint semantics.
+
+    Rules are applied simultaneously, with [not a] read as "[a] was not
+    derived so far"; results accumulate and the process stops at the first
+    fixpoint. This is the semantics under which the naive IFP-algebra to
+    deduction translation is exact (Proposition 5.1), and the one the
+    stage-index transformation of Proposition 5.2 simulates under the
+    valid semantics. *)
+
+val solve : Propgm.t -> Interp.t
+val solve_raw : Propgm.t -> Recalg_kernel.Bitset.t
+val stages : Propgm.t -> Recalg_kernel.Bitset.t list
+(** The inflationary stages [S_1 ⊆ S_2 ⊆ ...] up to the fixpoint —
+    used to cross-check the stage-index transformation. *)

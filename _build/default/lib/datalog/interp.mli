@@ -1,0 +1,38 @@
+(** Three-valued interpretations — the results of evaluating a program.
+
+    An interpretation records which ground atoms of the considered base are
+    true and which are undefined; everything else (including atoms outside
+    the grounded base, which no derivation can ever reach) is false. For
+    the two-valued semantics (inflationary, stratified) the undefined set
+    is empty. *)
+
+open Recalg_kernel
+
+type t
+
+val make : Propgm.t -> true_:Bitset.t -> undef:Bitset.t -> t
+val of_true : Propgm.t -> Bitset.t -> t
+(** Two-valued: everything not true is false. *)
+
+val holds : t -> string -> Value.t list -> Tvl.t
+val holds_fact : t -> Propgm.fact -> Tvl.t
+
+val true_tuples : t -> string -> Value.t list list
+(** Sorted, duplicate-free tuples for a predicate. *)
+
+val undef_tuples : t -> string -> Value.t list list
+val false_tuples : t -> string -> Value.t list list
+(** Restricted to the grounded base (the atoms some derivation mentions). *)
+
+val preds : t -> string list
+val to_edb : t -> Edb.t
+(** The true facts as an extensional database. *)
+
+val count_true : t -> int
+val count_undef : t -> int
+val is_total : t -> bool
+val equal : t -> t -> bool
+(** Same true set and same undefined set, compared as fact sets (the two
+    interpretations may come from different groundings). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+open Recalg_kernel
+
+type fact = string * Value.t list
+type rule = { head : int; pos : int array; neg : int array }
+type t = { atoms : fact Interner.t; rules : rule array }
+
+let n_atoms t = Interner.size t.atoms
+let fact_of_id t id = Interner.get t.atoms id
+let id_of_fact t f = Interner.find_opt t.atoms f
+
+let pp_fact ppf (pred, args) =
+  match args with
+  | [] -> Fmt.string ppf pred
+  | _ -> Fmt.pf ppf "%s(%a)" pred Fmt.(list ~sep:comma Value.pp) args
+
+let pp ppf t =
+  let pp_rule ppf r =
+    let lit sign id ppf = Fmt.pf ppf "%s%a" sign pp_fact (fact_of_id t id) in
+    Fmt.pf ppf "%a :-" pp_fact (fact_of_id t r.head);
+    Array.iter (fun id -> Fmt.pf ppf " %t" (lit "" id)) r.pos;
+    Array.iter (fun id -> Fmt.pf ppf " %t" (lit "not " id)) r.neg;
+    Fmt.pf ppf "."
+  in
+  Array.iter (fun r -> Fmt.pf ppf "%a@ " pp_rule r) t.rules

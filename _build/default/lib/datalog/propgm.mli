@@ -1,0 +1,21 @@
+(** Propositional (ground) programs.
+
+    The grounder instantiates a safe program over the derivable envelope of
+    facts and interns every ground atom into a dense id; the semantics
+    engines then work on this propositional form. *)
+
+open Recalg_kernel
+
+type fact = string * Value.t list
+
+type rule = { head : int; pos : int array; neg : int array }
+
+type t = {
+  atoms : fact Interner.t;
+  rules : rule array;
+}
+
+val n_atoms : t -> int
+val fact_of_id : t -> int -> fact
+val id_of_fact : t -> fact -> int option
+val pp : Format.formatter -> t -> unit

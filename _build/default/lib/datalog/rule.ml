@@ -1,0 +1,43 @@
+type t = { head : Literal.atom; body : Literal.t list }
+
+let make head body = { head; body }
+let fact pred args = { head = Literal.atom pred args; body = [] }
+let head_pred r = r.head.Literal.pred
+
+let is_fact r =
+  r.body = [] && List.for_all Dterm.is_ground r.head.Literal.args
+
+let vars r =
+  let add acc x = if List.mem x acc then acc else x :: acc in
+  let acc = List.fold_left add [] (Literal.atom_vars r.head) in
+  List.rev
+    (List.fold_left (fun acc l -> List.fold_left add acc (Literal.vars l)) acc r.body)
+
+let body_preds r =
+  List.filter_map
+    (fun l ->
+      match l with
+      | Literal.Pos a -> Some (a.Literal.pred, `Pos)
+      | Literal.Neg a -> Some (a.Literal.pred, `Neg)
+      | Literal.Eq _ | Literal.Neq _ -> None)
+    r.body
+
+let rename f r =
+  {
+    head = { r.head with Literal.args = List.map (Dterm.rename f) r.head.Literal.args };
+    body = List.map (Literal.rename f) r.body;
+  }
+
+let compare r1 r2 =
+  let c = Literal.compare_atom r1.head r2.head in
+  if c <> 0 then c else List.compare Literal.compare r1.body r2.body
+
+let equal r1 r2 = compare r1 r2 = 0
+
+let pp ppf r =
+  match r.body with
+  | [] -> Fmt.pf ppf "%a." Literal.pp_atom r.head
+  | body ->
+    Fmt.pf ppf "@[<hov 2>%a :-@ %a.@]" Literal.pp_atom r.head
+      Fmt.(list ~sep:(any ",@ ") Literal.pp)
+      body

@@ -1,0 +1,18 @@
+(** Rules (Horn clauses with negation): [head :- body]. *)
+
+type t = { head : Literal.atom; body : Literal.t list }
+
+val make : Literal.atom -> Literal.t list -> t
+val fact : string -> Dterm.t list -> t
+val head_pred : t -> string
+val is_fact : t -> bool
+(** True when the body is empty and the head is ground. *)
+
+val vars : t -> string list
+val body_preds : t -> (string * [ `Pos | `Neg ]) list
+(** Predicates used in the body with their polarity (duplicates kept). *)
+
+val rename : (string -> string) -> t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,14 @@
+let valid ?fuel program edb = Valid.solve (Grounder.ground ?fuel program edb)
+
+let wellfounded ?fuel program edb =
+  Wellfounded.solve (Grounder.ground ?fuel program edb)
+
+let inflationary ?fuel program edb =
+  Inflationary.solve (Grounder.ground ?fuel program edb)
+
+let stable ?fuel ?max_residue program edb =
+  Stable.models ?max_residue (Grounder.ground ?fuel program edb)
+
+let stratified ?fuel program edb = Seminaive.stratified ?fuel program edb
+
+let holds ?fuel program edb pred args = Interp.holds (valid ?fuel program edb) pred args

@@ -1,0 +1,19 @@
+(** One-call evaluation entry points: ground, then solve under the chosen
+    semantics. *)
+
+open Recalg_kernel
+
+val valid : ?fuel:Limits.fuel -> Program.t -> Edb.t -> Interp.t
+(** The paper's semantics of choice (Section 2.2). *)
+
+val wellfounded : ?fuel:Limits.fuel -> Program.t -> Edb.t -> Interp.t
+val inflationary : ?fuel:Limits.fuel -> Program.t -> Edb.t -> Interp.t
+
+val stable : ?fuel:Limits.fuel -> ?max_residue:int -> Program.t -> Edb.t -> Interp.t list
+
+val stratified : ?fuel:Limits.fuel -> Program.t -> Edb.t -> (Edb.t, string) result
+
+val holds :
+  ?fuel:Limits.fuel -> Program.t -> Edb.t -> string -> Value.t list -> Tvl.t
+(** Valid-semantics truth value of one ground query "R(ā)?" (Section 4's
+    query form). *)

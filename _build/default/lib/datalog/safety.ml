@@ -1,0 +1,137 @@
+type violation = { rule : Rule.t; unrestricted : string list }
+
+let pp_violation ppf v =
+  Fmt.pf ppf "@[<v>unsafe rule: %a@ unrestricted variables: %a@]" Rule.pp v.rule
+    Fmt.(list ~sep:comma string)
+    v.unrestricted
+
+module Sset = Set.Make (String)
+
+let term_vars t = Sset.of_list (Dterm.vars t)
+
+(* Variables a positive occurrence of [t] binds, given [bound]: extractable
+   variables always; interpreted subterms contribute nothing (their
+   variables must be bound elsewhere for the match to be evaluable). *)
+let binds_of_match builtins t = Sset.of_list (Dterm.extractable_vars builtins t)
+
+(* One pass of the restriction rules over the body; returns the enlarged
+   set of restricted variables. *)
+let restrict_pass builtins body bound =
+  List.fold_left
+    (fun bound l ->
+      match l with
+      | Literal.Pos a ->
+        List.fold_left
+          (fun bound t -> Sset.union bound (binds_of_match builtins t))
+          bound a.Literal.args
+      | Literal.Eq (t1, t2) ->
+        let bound =
+          if Sset.subset (term_vars t2) bound then
+            Sset.union bound (binds_of_match builtins t1)
+          else bound
+        in
+        if Sset.subset (term_vars t1) bound then
+          Sset.union bound (binds_of_match builtins t2)
+        else bound
+      | Literal.Neg _ | Literal.Neq _ -> bound)
+    bound body
+
+let restricted_vars builtins body =
+  let rec fix bound =
+    let bound' = restrict_pass builtins body bound in
+    if Sset.equal bound bound' then bound else fix bound'
+  in
+  Sset.elements (fix Sset.empty)
+
+let check_rule builtins r =
+  let bound = Sset.of_list (restricted_vars builtins r.Rule.body) in
+  let all = Sset.of_list (Rule.vars r) in
+  let missing = Sset.diff all bound in
+  if Sset.is_empty missing then Ok ()
+  else Error { rule = r; unrestricted = Sset.elements missing }
+
+let check p =
+  let violations =
+    List.filter_map
+      (fun r ->
+        match check_rule p.Program.builtins r with
+        | Ok () -> None
+        | Error v -> Some v)
+      p.Program.rules
+  in
+  if violations = [] then Ok () else Error violations
+
+let is_safe p = Result.is_ok (check p)
+
+(* A literal is ready w.r.t. [bound] when evaluating it left-to-right is
+   possible: positive atoms need their interpreted subterms' variables
+   bound; equalities need one evaluable side; negative literals need all
+   their variables bound. *)
+let interpreted_var_demand builtins t =
+  (* Variables occurring under an interpreted function somewhere in t. *)
+  let extractable = Sset.of_list (Dterm.extractable_vars builtins t) in
+  Sset.diff (term_vars t) extractable
+
+let ready builtins bound l =
+  match l with
+  | Literal.Pos a ->
+    List.for_all
+      (fun t -> Sset.subset (interpreted_var_demand builtins t) bound)
+      a.Literal.args
+  | Literal.Eq (t1, t2) ->
+    (Sset.subset (term_vars t1) bound
+    && Sset.subset (interpreted_var_demand builtins t2) bound)
+    || (Sset.subset (term_vars t2) bound
+       && Sset.subset (interpreted_var_demand builtins t1) bound)
+  | Literal.Neg a -> Sset.subset (Sset.of_list (Literal.atom_vars a)) bound
+  | Literal.Neq (t1, t2) ->
+    Sset.subset (Sset.union (term_vars t1) (term_vars t2)) bound
+
+let binds builtins bound l =
+  match l with
+  | Literal.Pos a ->
+    List.fold_left
+      (fun b t -> Sset.union b (binds_of_match builtins t))
+      bound a.Literal.args
+  | Literal.Eq (t1, t2) ->
+    let b =
+      if Sset.subset (term_vars t2) bound then
+        Sset.union bound (binds_of_match builtins t1)
+      else bound
+    in
+    if Sset.subset (term_vars t1) bound then Sset.union b (binds_of_match builtins t2)
+    else b
+  | Literal.Neg _ | Literal.Neq _ -> bound
+
+let evaluation_order_with builtins ~prefer body =
+  let rec go ordered bound remaining =
+    match remaining with
+    | [] -> Ok (List.rev ordered)
+    | _ -> (
+      let candidates = List.filter (ready builtins bound) remaining in
+      let best =
+        List.fold_left
+          (fun acc l ->
+            match acc with
+            | None -> Some l
+            | Some l' -> if prefer l < prefer l' then Some l else acc)
+          None candidates
+      in
+      match best with
+      | Some l ->
+        let rec remove_first xs =
+          match xs with
+          | [] -> []
+          | x :: rest -> if x == l then rest else x :: remove_first rest
+        in
+        go (l :: ordered) (binds builtins bound l) (remove_first remaining)
+      | None ->
+        Error
+          (Fmt.str "no evaluable ordering for body: %a"
+             Fmt.(list ~sep:comma Literal.pp)
+             remaining))
+  in
+  go [] Sset.empty body
+
+let evaluation_order builtins body =
+  evaluation_order_with builtins ~prefer:(fun _ -> 0) body

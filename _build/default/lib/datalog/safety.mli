@@ -1,0 +1,40 @@
+(** Safety: the range-formula discipline of Definition 4.1.
+
+    A rule [phi -> R(x̄)] is safe when [phi] is a range formula restricting
+    all the rule's variables: variables are restricted by positive atoms
+    and by equalities [y = exp] whose right side only uses restricted
+    variables; negated subformulas and disequalities may only use variables
+    already restricted. A program is safe iff all its rules are.
+
+    The checker also produces an {e evaluation order} for the body: a
+    permutation of the literals such that each one, read left to right,
+    only consumes bindings produced earlier — the order the grounder and
+    the deduction-to-algebra translation (Proposition 6.1) follow. *)
+
+type violation = {
+  rule : Rule.t;
+  unrestricted : string list;  (** variables no range formula restricts *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val restricted_vars : Recalg_kernel.Builtins.t -> Literal.t list -> string list
+(** Fixpoint of the restriction rules of Definition 4.1 over a body. *)
+
+val check_rule : Recalg_kernel.Builtins.t -> Rule.t -> (unit, violation) result
+val check : Program.t -> (unit, violation list) result
+val is_safe : Program.t -> bool
+
+val evaluation_order :
+  Recalg_kernel.Builtins.t -> Literal.t list -> (Literal.t list, string) result
+(** Reorder a safe body so each literal is evaluable with the bindings of
+    its predecessors; [Error] when the body is not range restricted. *)
+
+val evaluation_order_with :
+  Recalg_kernel.Builtins.t ->
+  prefer:(Literal.t -> int) ->
+  Literal.t list -> (Literal.t list, string) result
+(** Like {!evaluation_order}, but among the literals evaluable at each
+    step pick one minimising [prefer]. Used by the deduction-to-algebra
+    translation to subtract negative literals while the environment
+    expression is still exact. *)

@@ -1,0 +1,191 @@
+open Recalg_kernel
+
+exception Unsafe of string
+
+(* Enumerate substitutions for an ordered body against [lookup], which maps
+   a predicate and a source selector to its tuples. *)
+type source = All | Old | Delta
+
+let rec solve builtins lookup body idx delta_pos subst k =
+  match body with
+  | [] -> k subst
+  | Literal.Pos a :: rest ->
+    let src =
+      match delta_pos with
+      | Some d when d = idx -> Delta
+      | Some d when d > idx -> Old
+      | Some _ | None -> All
+    in
+    List.iter
+      (fun tup ->
+        let rec match_args subst args vals =
+          match args, vals with
+          | [], [] -> Some subst
+          | t :: args', v :: vals' -> (
+            match Dterm.match_value builtins t v subst with
+            | Some subst' -> match_args subst' args' vals'
+            | None -> None)
+          | _, _ -> None
+        in
+        match match_args subst a.Literal.args tup with
+        | Some subst' -> solve builtins lookup rest (idx + 1) delta_pos subst' k
+        | None -> ())
+      (lookup a.Literal.pred src)
+  | Literal.Neg a :: rest -> (
+    (* Negation tests the fully materialised relation. *)
+    match Literal.ground_atom builtins subst a with
+    | Some (pred, args) ->
+      let holds = List.exists (List.equal Value.equal args) (lookup pred All) in
+      if not holds then solve builtins lookup rest (idx + 1) delta_pos subst k
+    | None -> ())
+  | Literal.Eq (t1, t2) :: rest -> (
+    match Dterm.eval builtins subst t1, Dterm.eval builtins subst t2 with
+    | Some v1, Some v2 ->
+      if Value.equal v1 v2 then solve builtins lookup rest (idx + 1) delta_pos subst k
+    | Some v, None -> (
+      match Dterm.match_value builtins t2 v subst with
+      | Some subst' -> solve builtins lookup rest (idx + 1) delta_pos subst' k
+      | None -> ())
+    | None, Some v -> (
+      match Dterm.match_value builtins t1 v subst with
+      | Some subst' -> solve builtins lookup rest (idx + 1) delta_pos subst' k
+      | None -> ())
+    | None, None -> ())
+  | Literal.Neq (t1, t2) :: rest -> (
+    match Dterm.eval builtins subst t1, Dterm.eval builtins subst t2 with
+    | Some v1, Some v2 ->
+      if not (Value.equal v1 v2) then
+        solve builtins lookup rest (idx + 1) delta_pos subst k
+    | _, _ -> ())
+
+module Tuples = Set.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare
+end)
+
+type store = { mutable full : Tuples.t; mutable delta : Tuples.t; mutable next : Tuples.t }
+
+let ordered_rules program rules =
+  List.map
+    (fun (r : Rule.t) ->
+      match Safety.evaluation_order program.Program.builtins r.Rule.body with
+      | Ok body -> (r, body)
+      | Error msg -> raise (Unsafe msg))
+    rules
+
+let run ~variant ?(fuel = Limits.default ()) program ~base rules =
+  let builtins = program.Program.builtins in
+  let stores : (string, store) Hashtbl.t = Hashtbl.create 16 in
+  let store_of pred =
+    match Hashtbl.find_opt stores pred with
+    | Some s -> s
+    | None ->
+      let s = { full = Tuples.empty; delta = Tuples.empty; next = Tuples.empty } in
+      Hashtbl.add stores pred s;
+      s
+  in
+  let derived = List.map Rule.head_pred rules in
+  (* A derived predicate may also have extensional facts (ground facts of
+     the same name in the database); they behave as axioms, i.e. as part
+     of the initial "old" facts. *)
+  let seeded = Hashtbl.create 8 in
+  let seed pred =
+    if not (Hashtbl.mem seeded pred) then begin
+      Hashtbl.add seeded pred ();
+      let s = store_of pred in
+      List.iter (fun tup -> s.full <- Tuples.add tup s.full) (Edb.tuples base pred)
+    end
+  in
+  List.iter seed derived;
+  let lookup pred src =
+    if List.mem pred derived then begin
+      let s = store_of pred in
+      let set =
+        match src with
+        | All -> Tuples.union s.full s.delta
+        | Old -> s.full
+        | Delta -> s.delta
+      in
+      Tuples.elements set
+    end
+    else Edb.tuples base pred
+  in
+  let ordered = ordered_rules program rules in
+  let derive (r : Rule.t) body ~delta_pos =
+    solve builtins lookup body 0 delta_pos Subst.empty (fun subst ->
+        match Literal.ground_atom builtins subst r.Rule.head with
+        | Some (pred, args) ->
+          let s = store_of pred in
+          if
+            not
+              (Tuples.mem args s.full || Tuples.mem args s.delta
+             || Tuples.mem args s.next)
+          then begin
+            Limits.spend fuel ~what:"seminaive: fact";
+            s.next <- Tuples.add args s.next
+          end
+        | None -> ())
+  in
+  let promote () =
+    Hashtbl.iter
+      (fun _ s ->
+        s.full <- Tuples.union s.full s.delta;
+        s.delta <- s.next;
+        s.next <- Tuples.empty)
+      stores
+  in
+  let delta_nonempty () =
+    Hashtbl.fold (fun _ s acc -> acc || not (Tuples.is_empty s.delta)) stores false
+  in
+  (* First round: no delta restriction. *)
+  List.iter (fun (r, body) -> derive r body ~delta_pos:None) ordered;
+  promote ();
+  while delta_nonempty () do
+    (match variant with
+    | `Naive ->
+      (* Full re-evaluation: recompute everything from the whole store. *)
+      List.iter (fun (r, body) -> derive r body ~delta_pos:None) ordered
+    | `Seminaive ->
+      List.iter
+        (fun (r, body) ->
+          List.iteri
+            (fun i lit ->
+              match lit with
+              | Literal.Pos a when List.mem a.Literal.pred derived ->
+                derive r body ~delta_pos:(Some i)
+              | Literal.Pos _ | Literal.Neg _ | Literal.Eq _ | Literal.Neq _ -> ())
+            body)
+        ordered);
+    promote ()
+  done;
+  Hashtbl.fold
+    (fun pred s acc -> Edb.add_all pred (Tuples.elements s.full) acc)
+    stores Edb.empty
+
+let naive ?fuel program ~base rules = run ~variant:`Naive ?fuel program ~base rules
+
+let seminaive ?fuel program ~base rules =
+  run ~variant:`Seminaive ?fuel program ~base rules
+
+let stratified ?fuel program edb =
+  match Safety.check program with
+  | Error violations ->
+    Error
+      (Fmt.str "unsafe program: %a"
+         Fmt.(list ~sep:sp Safety.pp_violation)
+         violations)
+  | Ok () -> (
+    match Stratify.strata program with
+    | Error msg -> Error msg
+    | Ok groups ->
+      let eval_group base group =
+        let rules =
+          List.filter (fun r -> List.mem (Rule.head_pred r) group) program.Program.rules
+        in
+        if rules = [] then base
+        else
+          let result = seminaive ?fuel program ~base rules in
+          Edb.union base result
+      in
+      Ok (List.fold_left eval_group edb groups))

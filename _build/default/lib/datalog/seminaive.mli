@@ -1,0 +1,27 @@
+(** Relational bottom-up evaluation (naive and semi-naive).
+
+    Works directly on relations of value tuples, without grounding — this
+    is the production evaluation path for positive and stratified
+    programs, and the subject of the engine-ablation benchmark (E7).
+    Negative literals are permitted only when their predicate is fully
+    materialised in the [base] database (lower strata or EDB); the
+    stratified evaluator below arranges exactly that. *)
+
+open Recalg_kernel
+
+exception Unsafe of string
+
+val naive :
+  ?fuel:Limits.fuel -> Program.t -> base:Edb.t -> Rule.t list -> Edb.t
+(** Evaluate [rules] to their least fixpoint over [base] by full
+    re-evaluation each round. Returns only the newly derived relations. *)
+
+val seminaive :
+  ?fuel:Limits.fuel -> Program.t -> base:Edb.t -> Rule.t list -> Edb.t
+(** Same result with delta-restricted re-evaluation. *)
+
+val stratified :
+  ?fuel:Limits.fuel -> Program.t -> Edb.t -> (Edb.t, string) result
+(** Stratify and evaluate stratum by stratum (semi-naive within each);
+    [Error] when the program is not stratified or not safe. The result
+    contains EDB and all derived relations. *)

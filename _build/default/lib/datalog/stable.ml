@@ -1,0 +1,29 @@
+open Recalg_kernel
+
+let is_stable pg candidate =
+  let reduct_lfp = Fixpoint.lfp pg ~neg_ok:(fun a -> not (Bitset.get candidate a)) in
+  Bitset.equal reduct_lfp candidate
+
+let models ?(max_residue = 20) pg =
+  let wf_true, wf_undef = Wellfounded.solve_raw pg in
+  let residue = Bitset.to_list wf_undef in
+  if List.length residue > max_residue then
+    raise
+      (Limits.Diverged
+         (Fmt.str "stable: %d undefined atoms exceed the search bound %d"
+            (List.length residue) max_residue));
+  (* Branch over subsets of the residue; each candidate is checked against
+     the reduct. The well-founded true part is forced into every model. *)
+  let found = ref [] in
+  let rec branch chosen rest =
+    match rest with
+    | [] ->
+      let candidate = Bitset.copy wf_true in
+      List.iter (Bitset.set candidate) chosen;
+      if is_stable pg candidate then found := candidate :: !found
+    | a :: rest' ->
+      branch chosen rest';
+      branch (a :: chosen) rest'
+  in
+  branch [] residue;
+  List.rev_map (fun m -> Interp.of_true pg m) !found

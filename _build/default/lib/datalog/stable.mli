@@ -1,0 +1,17 @@
+(** Stable model semantics (Gelfond–Lifschitz), the other declarative
+    semantics the paper's Section 7 says the results adjust to.
+
+    A set [M] of atoms is stable when [M] equals the least model of the
+    Gelfond–Lifschitz reduct of the program by [M]. We compute the
+    well-founded model first — every stable model extends its true part
+    and avoids its false part — then search over the residual undefined
+    atoms. Exponential only in the number of undefined atoms; programs
+    with a large residue are rejected via [Limits.Diverged]. *)
+
+open Recalg_kernel
+
+val is_stable : Propgm.t -> Bitset.t -> bool
+
+val models : ?max_residue:int -> Propgm.t -> Interp.t list
+(** All stable models (as two-valued interpretations). [max_residue]
+    (default 20) bounds the number of undefined atoms branched over. *)

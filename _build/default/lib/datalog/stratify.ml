@@ -1,0 +1,55 @@
+type analysis =
+  | Stratified of string list list
+  | Not_stratified of string * string
+
+module Smap = Map.Make (String)
+
+(* Stratum numbers by the classic fixpoint: stratum q >= stratum p for a
+   positive edge p->q's body predicate... We use the standard formulation:
+   for a rule h :- ... q ..., stratum(h) >= stratum(q); for h :- ... not q
+   ..., stratum(h) >= stratum(q) + 1. Iterate; if some stratum exceeds the
+   number of predicates, there is a negative cycle. *)
+let analyse p =
+  let preds = Program.all_preds p in
+  let n = List.length preds in
+  let deps = Program.dependencies p in
+  let strat = ref (List.fold_left (fun m q -> Smap.add q 0 m) Smap.empty preds) in
+  let get q = Option.value ~default:0 (Smap.find_opt q !strat) in
+  let changed = ref true in
+  let overflow = ref None in
+  while !changed && !overflow = None do
+    changed := false;
+    List.iter
+      (fun (h, q, pol) ->
+        let need =
+          match pol with
+          | `Pos -> get q
+          | `Neg -> get q + 1
+        in
+        if get h < need then begin
+          strat := Smap.add h need !strat;
+          if need > n then overflow := Some (h, q);
+          changed := true
+        end)
+      deps
+  done;
+  match !overflow with
+  | Some (h, q) -> Not_stratified (h, q)
+  | None ->
+    let max_stratum = Smap.fold (fun _ s acc -> max s acc) !strat 0 in
+    let groups =
+      List.init (max_stratum + 1) (fun i ->
+          List.filter (fun q -> get q = i) preds)
+    in
+    Stratified (List.filter (fun g -> g <> []) groups)
+
+let is_stratified p =
+  match analyse p with
+  | Stratified _ -> true
+  | Not_stratified _ -> false
+
+let strata p =
+  match analyse p with
+  | Stratified groups -> Ok groups
+  | Not_stratified (h, q) ->
+    Error (Fmt.str "not stratified: %s depends negatively on %s through a cycle" h q)

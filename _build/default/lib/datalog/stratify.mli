@@ -1,0 +1,19 @@
+(** Stratification analysis.
+
+    A program is stratified when no predicate depends negatively on itself
+    through the predicate dependency graph — equivalently, no strongly
+    connected component contains a negative edge. Theorem 4.3 of the paper
+    identifies stratified deduction with the positive IFP-algebra. *)
+
+type analysis =
+  | Stratified of string list list
+      (** Predicate groups in evaluation order; each group is one stratum
+          (possibly merging several SCCs of equal stratum number). *)
+  | Not_stratified of string * string
+      (** A negative edge [p -> q] inside a cycle. *)
+
+val analyse : Program.t -> analysis
+val is_stratified : Program.t -> bool
+
+val strata : Program.t -> (string list list, string) result
+(** [Ok groups] or [Error message]. *)

@@ -1,0 +1,21 @@
+open Recalg_kernel
+module Smap = Map.Make (String)
+
+type t = Value.t Smap.t
+
+let empty = Smap.empty
+let is_empty = Smap.is_empty
+let find x s = Smap.find_opt x s
+let bind x v s = Smap.add x v s
+
+let bind_consistent x v s =
+  match Smap.find_opt x s with
+  | None -> Some (Smap.add x v s)
+  | Some w -> if Value.equal v w then Some s else None
+
+let mem x s = Smap.mem x s
+let bindings s = Smap.bindings s
+
+let pp ppf s =
+  let pp_binding ppf (x, v) = Fmt.pf ppf "%s=%a" x Value.pp v in
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma pp_binding) (bindings s)

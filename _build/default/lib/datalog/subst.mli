@@ -1,0 +1,18 @@
+(** Substitutions: finite maps from variable names to ground values. *)
+
+open Recalg_kernel
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val find : string -> t -> Value.t option
+val bind : string -> Value.t -> t -> t
+(** Unconditional binding (overrides). *)
+
+val bind_consistent : string -> Value.t -> t -> t option
+(** [None] if the variable is already bound to a different value. *)
+
+val mem : string -> t -> bool
+val bindings : t -> (string * Value.t) list
+val pp : Format.formatter -> t -> unit

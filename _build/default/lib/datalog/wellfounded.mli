@@ -1,0 +1,11 @@
+(** Well-founded semantics via Van Gelder's alternating fixpoint.
+
+    Underestimates [T_k] and overestimates [U_k] are computed alternately:
+    [U_{k+1}] licenses [not a] whenever [a] is outside the current
+    underestimate, [T_{k+1}] licenses [not a] only when [a] is outside the
+    current overestimate. The limit yields the well-founded model: true on
+    [T], false outside [U], undefined in between. *)
+
+val solve : Propgm.t -> Interp.t
+val solve_raw : Propgm.t -> Recalg_kernel.Bitset.t * Recalg_kernel.Bitset.t
+(** [(true set, undefined set)] as bitsets over the grounding's atom ids. *)

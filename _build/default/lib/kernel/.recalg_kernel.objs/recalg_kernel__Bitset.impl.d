@@ -1,0 +1,1 @@
+lib/kernel/bitset.ml: Bytes Char

@@ -1,0 +1,1 @@
+lib/kernel/builtins.ml: List Map Option String Value

@@ -1,0 +1,1 @@
+lib/kernel/interner.ml: Array List

@@ -1,0 +1,1 @@
+lib/kernel/tvl.ml: Fmt Int List

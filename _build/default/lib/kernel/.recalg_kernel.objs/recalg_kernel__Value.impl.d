@@ -1,0 +1,1 @@
+lib/kernel/value.ml: Fmt Hashtbl List Stdlib String

@@ -1,0 +1,60 @@
+type t = { bits : Bytes.t; n : int }
+
+let create n = { bits = Bytes.make ((n + 7) / 8) '\000'; n }
+let length t = t.n
+
+let check t i name =
+  if i < 0 || i >= t.n then invalid_arg ("Bitset." ^ name ^ ": index out of range")
+
+let get t i =
+  check t i "get";
+  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i =
+  check t i "set";
+  let b = i lsr 3 in
+  Bytes.set t.bits b (Char.chr (Char.code (Bytes.get t.bits b) lor (1 lsl (i land 7))))
+
+let clear t i =
+  check t i "clear";
+  let b = i lsr 3 in
+  Bytes.set t.bits b
+    (Char.chr (Char.code (Bytes.get t.bits b) land lnot (1 lsl (i land 7)) land 0xff))
+
+let copy t = { bits = Bytes.copy t.bits; n = t.n }
+let equal a b = a.n = b.n && Bytes.equal a.bits b.bits
+
+let count t =
+  let c = ref 0 in
+  for i = 0 to t.n - 1 do
+    if get t i then incr c
+  done;
+  !c
+
+let is_empty t = count t = 0
+
+let iter_set f t =
+  for i = 0 to t.n - 1 do
+    if get t i then f i
+  done
+
+let subset a b =
+  let ok = ref true in
+  (try
+     iter_set (fun i -> if not (get b i) then raise Exit) a
+   with Exit -> ok := false);
+  !ok
+
+let union_into ~dst src =
+  if dst.n <> src.n then invalid_arg "Bitset.union_into: length mismatch";
+  for b = 0 to Bytes.length dst.bits - 1 do
+    Bytes.set dst.bits b
+      (Char.chr (Char.code (Bytes.get dst.bits b) lor Char.code (Bytes.get src.bits b)))
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if get t i then acc := i :: !acc
+  done;
+  !acc

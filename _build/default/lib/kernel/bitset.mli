@@ -1,0 +1,22 @@
+(** Dense mutable bitsets over [0 .. n-1].
+
+    Used by the propositional fixpoint engines, where ground atoms are
+    interned into dense integer ids. *)
+
+type t
+
+val create : int -> t
+(** All bits clear. *)
+
+val length : t -> int
+val get : t -> int -> bool
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val copy : t -> t
+val equal : t -> t -> bool
+val count : t -> int
+val is_empty : t -> bool
+val iter_set : (int -> unit) -> t -> unit
+val subset : t -> t -> bool
+val union_into : dst:t -> t -> unit
+val to_list : t -> int list

@@ -1,0 +1,166 @@
+module Smap = Map.Make (String)
+
+type fn = Value.t list -> Value.t option
+type t = fn Smap.t
+
+let empty = Smap.empty
+let add_fn name f env = Smap.add name f env
+let find env name = Smap.find_opt name env
+let is_interpreted env name = Smap.mem name env
+
+let apply env name args =
+  match Smap.find_opt name env with
+  | Some f -> f args
+  | None -> Some (Value.cstr name args)
+
+let names env = List.map fst (Smap.bindings env)
+
+let as_int v =
+  match v with
+  | Value.Int x -> Some x
+  | _ -> None
+
+let int_fold op init args =
+  let rec go acc args =
+    match args with
+    | [] -> Some (Value.int acc)
+    | a :: rest -> (
+      match as_int a with
+      | Some x -> go (op acc x) rest
+      | None -> None)
+  in
+  go init args
+
+let fn_add args =
+  match args with
+  | first :: _ -> (
+    match as_int first with
+    | Some x -> int_fold ( + ) x (List.tl args)
+    | None -> None)
+  | [] -> Some (Value.int 0)
+
+let fn_mul args =
+  match args with
+  | [] -> Some (Value.int 1)
+  | first :: rest -> (
+    match as_int first with
+    | Some x -> int_fold ( * ) x rest
+    | None -> None)
+
+let fn_sub args =
+  match args with
+  | [ a; b ] -> (
+    match as_int a, as_int b with
+    | Some x, Some y -> Some (Value.int (x - y))
+    | _, _ -> None)
+  | _ -> None
+
+let fn_neg args =
+  match args with
+  | [ a ] -> Option.map (fun x -> Value.int (-x)) (as_int a)
+  | _ -> None
+
+let fn_succ_int args =
+  match args with
+  | [ a ] -> Option.map (fun x -> Value.int (x + 1)) (as_int a)
+  | _ -> None
+
+let fn_pred_int args =
+  match args with
+  | [ a ] -> Option.map (fun x -> Value.int (x - 1)) (as_int a)
+  | _ -> None
+
+let int_cmp op args =
+  match args with
+  | [ a; b ] -> (
+    match as_int a, as_int b with
+    | Some x, Some y -> Some (Value.bool (op x y))
+    | _, _ -> None)
+  | _ -> None
+
+let fn_eq_val args =
+  match args with
+  | [ a; b ] -> Some (Value.bool (Value.equal a b))
+  | _ -> None
+
+let fn_pair args =
+  match args with
+  | [ a; b ] -> Some (Value.pair a b)
+  | _ -> None
+
+let fn_fst args =
+  match args with
+  | [ Value.Tuple (x :: _) ] -> Some x
+  | _ -> None
+
+let fn_snd args =
+  match args with
+  | [ Value.Tuple (_ :: y :: _) ] -> Some y
+  | _ -> None
+
+let fn_tuple args = Some (Value.tuple args)
+
+let fn_concat args =
+  let rec go acc args =
+    match args with
+    | [] -> Some (Value.str acc)
+    | Value.Str s :: rest -> go (acc ^ s) rest
+    | _ -> None
+  in
+  go "" args
+
+(* Set values as attribute values — the complex-object models the paper
+   subsumes ("models that allow attribute values to be arbitrary ADT's
+   are special cases", Section 4). *)
+let fn_set_empty args =
+  match args with
+  | [] -> Some Value.empty_set
+  | _ -> None
+
+let fn_set_add args =
+  match args with
+  | [ x; s ] when Value.is_set s -> Some (Value.add x s)
+  | _ -> None
+
+let fn_set_union args =
+  match args with
+  | [ a; b ] when Value.is_set a && Value.is_set b -> Some (Value.union a b)
+  | _ -> None
+
+let fn_set_diff args =
+  match args with
+  | [ a; b ] when Value.is_set a && Value.is_set b -> Some (Value.diff a b)
+  | _ -> None
+
+let fn_set_mem args =
+  match args with
+  | [ x; s ] when Value.is_set s -> Some (Value.bool (Value.mem x s))
+  | _ -> None
+
+let fn_set_card args =
+  match args with
+  | [ s ] when Value.is_set s -> Some (Value.int (Value.cardinal s))
+  | _ -> None
+
+let default =
+  empty
+  |> add_fn "add" fn_add
+  |> add_fn "sub" fn_sub
+  |> add_fn "mul" fn_mul
+  |> add_fn "neg" fn_neg
+  |> add_fn "succ_int" fn_succ_int
+  |> add_fn "pred_int" fn_pred_int
+  |> add_fn "lt" (int_cmp ( < ))
+  |> add_fn "leq" (int_cmp ( <= ))
+  |> add_fn "eq_val" fn_eq_val
+  |> add_fn "pair" fn_pair
+  |> add_fn "fst" fn_fst
+  |> add_fn "snd" fn_snd
+  |> add_fn "tuple" fn_tuple
+  |> add_fn "concat" fn_concat
+  |> add_fn "set_empty" fn_set_empty
+  |> add_fn "set_add" fn_set_add
+  |> add_fn "set_union" fn_set_union
+  |> add_fn "set_diff" fn_set_diff
+  |> add_fn "set_mem" fn_set_mem
+  |> add_fn "set_card" fn_set_card

@@ -1,0 +1,38 @@
+(** Registry of interpreted functions on the value domains.
+
+    The paper allows "functions on the domains, such as addition on
+    numbers" (Section 3.1), both in algebra element functions and in
+    deductive rules. A [t] maps function names to partial OCaml
+    implementations. Function names that are {e not} registered are treated
+    as free constructors: applying them builds a [Value.Cstr] term of the
+    Herbrand universe. *)
+
+type fn = Value.t list -> Value.t option
+(** A partial interpreted function; [None] means "undefined on these
+    arguments" (e.g. addition applied to a string). *)
+
+type t
+
+val empty : t
+(** No interpreted functions: every symbol is a free constructor. *)
+
+val default : t
+(** Standard arithmetic and structural functions:
+    ["add"], ["sub"], ["mul"], ["neg"] on integers (n-ary add/mul);
+    ["succ_int"], ["pred_int"]; ["lt"], ["leq"], ["eq_val"] returning
+    booleans; ["pair"], ["fst"], ["snd"], ["tuple"]; ["concat"] on
+    strings; and set-valued attributes: ["set_empty"], ["set_add"],
+    ["set_union"], ["set_diff"], ["set_mem"], ["set_card"]. *)
+
+val add_fn : string -> fn -> t -> t
+(** [add_fn name f env] registers (or overrides) [name]. *)
+
+val find : t -> string -> fn option
+val is_interpreted : t -> string -> bool
+
+val apply : t -> string -> Value.t list -> Value.t option
+(** [apply env name args]: if [name] is registered, its implementation is
+    used (and may be undefined); otherwise the constructor term
+    [Value.cstr name args] is built. *)
+
+val names : t -> string list

@@ -1,0 +1,63 @@
+type 'a t = {
+  hash : 'a -> int;
+  equal : 'a -> 'a -> bool;
+  mutable buckets : ('a * int) list array;
+  mutable items : 'a option array;
+  mutable size : int;
+}
+
+let create ~hash ~equal () =
+  { hash; equal; buckets = Array.make 64 []; items = Array.make 64 None; size = 0 }
+
+let bucket_of t x = t.hash x land max_int mod Array.length t.buckets
+
+let rehash t =
+  let old = t.buckets in
+  t.buckets <- Array.make (2 * Array.length old) [];
+  Array.iter
+    (fun chain ->
+      List.iter
+        (fun ((x, _) as entry) ->
+          let b = bucket_of t x in
+          t.buckets.(b) <- entry :: t.buckets.(b))
+        chain)
+    old
+
+let grow_items t =
+  if t.size >= Array.length t.items then begin
+    let bigger = Array.make (2 * Array.length t.items) None in
+    Array.blit t.items 0 bigger 0 t.size;
+    t.items <- bigger
+  end
+
+let find_opt t x =
+  let chain = t.buckets.(bucket_of t x) in
+  List.find_map (fun (y, id) -> if t.equal x y then Some id else None) chain
+
+let intern t x =
+  match find_opt t x with
+  | Some id -> id
+  | None ->
+    if t.size > 2 * Array.length t.buckets then rehash t;
+    let id = t.size in
+    let b = bucket_of t x in
+    t.buckets.(b) <- (x, id) :: t.buckets.(b);
+    grow_items t;
+    t.items.(id) <- Some x;
+    t.size <- t.size + 1;
+    id
+
+let get t id =
+  if id < 0 || id >= t.size then invalid_arg "Interner.get: unknown id";
+  match t.items.(id) with
+  | Some x -> x
+  | None -> invalid_arg "Interner.get: unknown id"
+
+let size t = t.size
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    match t.items.(i) with
+    | Some x -> f i x
+    | None -> ()
+  done

@@ -1,0 +1,18 @@
+(** Bidirectional interning of values into dense integer ids.
+
+    The semantics engines reduce ground programs to propositional form;
+    interning ground atoms into dense ids lets the fixpoint loops work on
+    bit-indexed arrays. *)
+
+type 'a t
+
+val create : hash:('a -> int) -> equal:('a -> 'a -> bool) -> unit -> 'a t
+val intern : 'a t -> 'a -> int
+(** Id of the value, allocating a fresh dense id on first sight. *)
+
+val find_opt : 'a t -> 'a -> int option
+val get : 'a t -> int -> 'a
+(** Inverse of [intern]. Raises [Invalid_argument] on an unknown id. *)
+
+val size : 'a t -> int
+val iter : (int -> 'a -> unit) -> 'a t -> unit

@@ -1,0 +1,18 @@
+exception Diverged of string
+
+type fuel = { mutable left : int; infinite : bool }
+
+let of_int n =
+  if n <= 0 then invalid_arg "Limits.of_int: fuel must be positive";
+  { left = n; infinite = false }
+
+let unlimited = { left = 0; infinite = true }
+let default () = of_int 1_000_000
+
+let spend t ~what =
+  if not t.infinite then begin
+    if t.left <= 0 then raise (Diverged (what ^ ": fuel exhausted"));
+    t.left <- t.left - 1
+  end
+
+let remaining t = if t.infinite then None else Some t.left

@@ -1,0 +1,29 @@
+(** Explicit resource bounds.
+
+    Membership testing for the languages of the paper is undecidable
+    (Proposition 6.3), and the intended models may be infinite (the even-set
+    example generates all even naturals). Every evaluator therefore takes a
+    fuel budget; exhausting it raises {!Diverged} instead of silently
+    truncating the answer. *)
+
+exception Diverged of string
+(** Raised when an evaluation exceeds its fuel budget. The payload says
+    which engine gave up and at what size. *)
+
+type fuel
+
+val of_int : int -> fuel
+(** A budget of [n] abstract steps. Raises [Invalid_argument] if [n <= 0]. *)
+
+val unlimited : fuel
+val default : unit -> fuel
+(** A fresh budget of 1_000_000 steps — ample for all bundled examples and
+    benches. *)
+
+val spend : fuel -> what:string -> unit
+(** Consume one step; raises {!Diverged} when the budget is exhausted. The
+    same [fuel] value is a shared mutable budget: pass it down to share a
+    budget across sub-computations. *)
+
+val remaining : fuel -> int option
+(** [None] for {!unlimited}. *)

@@ -1,0 +1,62 @@
+type t = True | False | Undef
+
+let equal a b =
+  match a, b with
+  | True, True | False, False | Undef, Undef -> true
+  | (True | False | Undef), _ -> false
+
+let rank v =
+  match v with
+  | False -> 0
+  | Undef -> 1
+  | True -> 2
+
+let compare a b = Int.compare (rank a) (rank b)
+let of_bool b = if b then True else False
+
+let to_bool_opt v =
+  match v with
+  | True -> Some true
+  | False -> Some false
+  | Undef -> None
+
+let is_defined v =
+  match v with
+  | True | False -> true
+  | Undef -> false
+
+let not_ v =
+  match v with
+  | True -> False
+  | False -> True
+  | Undef -> Undef
+
+let and_ a b =
+  match a, b with
+  | False, _ | _, False -> False
+  | True, True -> True
+  | (True | Undef), (True | Undef) -> Undef
+
+let or_ a b =
+  match a, b with
+  | True, _ | _, True -> True
+  | False, False -> False
+  | (False | Undef), (False | Undef) -> Undef
+
+let for_all f xs = List.fold_left (fun acc x -> and_ acc (f x)) True xs
+let exists f xs = List.fold_left (fun acc x -> or_ acc (f x)) False xs
+
+let knowledge_leq a b =
+  match a, b with
+  | Undef, (True | False | Undef) -> true
+  | True, True | False, False -> true
+  | (True | False), _ -> false
+
+let pp ppf v =
+  Fmt.string ppf
+    (match v with
+    | True -> "true"
+    | False -> "false"
+    | Undef -> "undef")
+
+let to_string v = Fmt.str "%a" pp v

@@ -1,0 +1,39 @@
+(** Kleene three-valued logic.
+
+    The valid model (Section 2.2 of the paper) is a 3-valued model with a
+    set of true facts, a set of false facts, and a set of undefined facts.
+    Query answers — in particular the membership function [MEM] of sets
+    defined by recursive equations — are therefore three-valued. *)
+
+type t = True | False | Undef
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val of_bool : bool -> t
+val to_bool_opt : t -> bool option
+(** [Some b] for the two classical values, [None] for [Undef]. *)
+
+val is_defined : t -> bool
+
+(** {1 Kleene connectives} *)
+
+val not_ : t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+
+val for_all : ('a -> t) -> 'a list -> t
+(** Kleene conjunction over a list: [False] dominates, then [Undef]. *)
+
+val exists : ('a -> t) -> 'a list -> t
+(** Kleene disjunction over a list: [True] dominates, then [Undef]. *)
+
+(** {1 Information (knowledge) order}
+
+    [Undef <= True] and [Undef <= False]; the classical values are
+    incomparable. The valid-model computation is monotone in this order. *)
+
+val knowledge_leq : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

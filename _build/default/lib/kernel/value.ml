@@ -1,0 +1,183 @@
+type t =
+  | Int of int
+  | Str of string
+  | Bool of bool
+  | Sym of string
+  | Tuple of t list
+  | Set of t list
+  | Cstr of string * t list
+
+let rec compare a b =
+  match a, b with
+  | Int x, Int y -> Stdlib.compare x y
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Str x, Str y -> String.compare x y
+  | Str _, _ -> -1
+  | _, Str _ -> 1
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Bool _, _ -> -1
+  | _, Bool _ -> 1
+  | Sym x, Sym y -> String.compare x y
+  | Sym _, _ -> -1
+  | _, Sym _ -> 1
+  | Tuple x, Tuple y -> compare_list x y
+  | Tuple _, _ -> -1
+  | _, Tuple _ -> 1
+  | Set x, Set y -> compare_list x y
+  | Set _, _ -> -1
+  | _, Set _ -> 1
+  | Cstr (f, x), Cstr (g, y) ->
+    let c = String.compare f g in
+    if c <> 0 then c else compare_list x y
+
+and compare_list xs ys =
+  match xs, ys with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs', y :: ys' ->
+    let c = compare x y in
+    if c <> 0 then c else compare_list xs' ys'
+
+let equal a b = compare a b = 0
+
+let rec hash v =
+  match v with
+  | Int x -> Hashtbl.hash (0, x)
+  | Str s -> Hashtbl.hash (1, s)
+  | Bool b -> Hashtbl.hash (2, b)
+  | Sym s -> Hashtbl.hash (3, s)
+  | Tuple xs -> List.fold_left (fun acc x -> (acc * 31) + hash x) 5 xs
+  | Set xs -> List.fold_left (fun acc x -> (acc * 31) + hash x) 7 xs
+  | Cstr (f, xs) ->
+    List.fold_left (fun acc x -> (acc * 31) + hash x) (Hashtbl.hash (11, f)) xs
+
+let int x = Int x
+let str s = Str s
+let bool b = Bool b
+let sym s = Sym s
+let tuple xs = Tuple xs
+let pair a b = Tuple [ a; b ]
+let cstr f xs = Cstr (f, xs)
+let tt = Bool true
+let ff = Bool false
+
+(* Canonicalisation: strictly sorted, duplicate free. *)
+let canon xs =
+  let sorted = List.sort_uniq compare xs in
+  Set sorted
+
+let set xs = canon xs
+let empty_set = Set []
+let singleton x = Set [ x ]
+
+let as_elements name v =
+  match v with
+  | Set xs -> xs
+  | Int _ | Str _ | Bool _ | Sym _ | Tuple _ | Cstr _ ->
+    invalid_arg (name ^ ": expected a set value")
+
+let elements v = as_elements "Value.elements" v
+
+let is_set v =
+  match v with
+  | Set _ -> true
+  | Int _ | Str _ | Bool _ | Sym _ | Tuple _ | Cstr _ -> false
+
+let cardinal v = List.length (as_elements "Value.cardinal" v)
+
+let mem x v =
+  let rec search xs =
+    match xs with
+    | [] -> false
+    | y :: rest ->
+      let c = compare x y in
+      if c = 0 then true else if c < 0 then false else search rest
+  in
+  search (as_elements "Value.mem" v)
+
+(* Merge of two sorted duplicate-free lists. *)
+let rec merge xs ys =
+  match xs, ys with
+  | [], l | l, [] -> l
+  | x :: xs', y :: ys' ->
+    let c = compare x y in
+    if c = 0 then x :: merge xs' ys'
+    else if c < 0 then x :: merge xs' ys
+    else y :: merge xs ys'
+
+let union a b =
+  Set (merge (as_elements "Value.union" a) (as_elements "Value.union" b))
+
+let inter a b =
+  let rec go xs ys =
+    match xs, ys with
+    | [], _ | _, [] -> []
+    | x :: xs', y :: ys' ->
+      let c = compare x y in
+      if c = 0 then x :: go xs' ys'
+      else if c < 0 then go xs' ys
+      else go xs ys'
+  in
+  Set (go (as_elements "Value.inter" a) (as_elements "Value.inter" b))
+
+let diff a b =
+  let rec go xs ys =
+    match xs, ys with
+    | [], _ -> []
+    | l, [] -> l
+    | x :: xs', y :: ys' ->
+      let c = compare x y in
+      if c = 0 then go xs' ys'
+      else if c < 0 then x :: go xs' ys
+      else go xs ys'
+  in
+  Set (go (as_elements "Value.diff" a) (as_elements "Value.diff" b))
+
+let product a b =
+  let xs = as_elements "Value.product" a
+  and ys = as_elements "Value.product" b in
+  let pairs = List.concat_map (fun x -> List.map (fun y -> pair x y) ys) xs in
+  canon pairs
+
+let subset a b =
+  let rec go xs ys =
+    match xs, ys with
+    | [], _ -> true
+    | _ :: _, [] -> false
+    | x :: xs', y :: ys' ->
+      let c = compare x y in
+      if c = 0 then go xs' ys'
+      else if c < 0 then false
+      else go xs ys'
+  in
+  go (as_elements "Value.subset" a) (as_elements "Value.subset" b)
+
+let add x v = union (singleton x) v
+let filter p v = Set (List.filter p (as_elements "Value.filter" v))
+let map_set f v = canon (List.map f (as_elements "Value.map_set" v))
+
+let filter_map_set f v =
+  canon (List.filter_map f (as_elements "Value.filter_map_set" v))
+
+let union_all vs = List.fold_left union empty_set vs
+
+let proj i v =
+  match v with
+  | Tuple xs -> List.nth_opt xs (i - 1)
+  | Int _ | Str _ | Bool _ | Sym _ | Set _ | Cstr _ -> None
+
+let rec pp ppf v =
+  match v with
+  | Int x -> Fmt.int ppf x
+  | Str s -> Fmt.pf ppf "%S" s
+  | Bool true -> Fmt.string ppf "T"
+  | Bool false -> Fmt.string ppf "F"
+  | Sym s -> Fmt.string ppf s
+  | Tuple xs -> Fmt.pf ppf "@[<h>[%a]@]" Fmt.(list ~sep:comma pp) xs
+  | Set xs -> Fmt.pf ppf "@[<h>{%a}@]" Fmt.(list ~sep:comma pp) xs
+  | Cstr (f, []) -> Fmt.string ppf f
+  | Cstr (f, xs) -> Fmt.pf ppf "@[<h>%s(%a)@]" f Fmt.(list ~sep:comma pp) xs
+
+let to_string v = Fmt.str "%a" pp v

@@ -1,0 +1,83 @@
+(** Complex-object values.
+
+    This is the common value universe shared by the algebraic query
+    languages, the deductive engine and the specification layer. A value is
+    an atomic constant (integer, string, boolean, or uninterpreted symbol),
+    a tuple, a finite set, or a constructor term [Cstr (f, args)] — the
+    latter represents elements of the Herbrand universe built with
+    uninterpreted function symbols such as [succ(succ(0))].
+
+    Sets are kept in a canonical form (strictly sorted, duplicate free), so
+    structural equality of values coincides with semantic equality; this is
+    the "equality is definable on the type" prerequisite the paper imposes
+    on set element types (Section 2.1, footnote 1). *)
+
+type t = private
+  | Int of int
+  | Str of string
+  | Bool of bool
+  | Sym of string  (** uninterpreted atomic constant, e.g. a game position *)
+  | Tuple of t list
+  | Set of t list  (** invariant: strictly sorted w.r.t. [compare], no dups *)
+  | Cstr of string * t list  (** constructor term over the Herbrand universe *)
+
+(** {1 Constructors} *)
+
+val int : int -> t
+val str : string -> t
+val bool : bool -> t
+val sym : string -> t
+val tuple : t list -> t
+val pair : t -> t -> t
+
+val set : t list -> t
+(** [set vs] builds the canonical set containing exactly the elements of
+    [vs]; duplicates are merged. *)
+
+val empty_set : t
+val singleton : t -> t
+val cstr : string -> t list -> t
+val tt : t
+val ff : t
+
+(** {1 Comparison} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** {1 Set operations}
+
+    All of these expect their set arguments to be [Set] values and raise
+    [Invalid_argument] otherwise; they always return canonical sets. *)
+
+val elements : t -> t list
+val is_set : t -> bool
+val cardinal : t -> int
+val mem : t -> t -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val product : t -> t -> t
+(** [product a b] is the set of [pair x y] for [x] in [a], [y] in [b]. *)
+
+val subset : t -> t -> bool
+val add : t -> t -> t
+val filter : (t -> bool) -> t -> t
+val map_set : (t -> t) -> t -> t
+(** [map_set f s] applies [f] to every element and re-canonicalises — the
+    semantics of the algebra's [MAP] operator on total element functions. *)
+
+val filter_map_set : (t -> t option) -> t -> t
+val union_all : t list -> t
+
+(** {1 Tuple helpers} *)
+
+val proj : int -> t -> t option
+(** [proj i v] is the [i]-th component of tuple [v], 1-based like the
+    paper's [pi_i]; [None] if [v] is not a tuple or [i] out of range. *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/spec/deductive.ml: Builtins Dterm Edb Equation Fmt Interp List Literal Option Program Recalg_datalog Recalg_kernel Rule Run Signature Spec String Term Tvl Value

@@ -1,0 +1,1 @@
+lib/spec/deductive.mli: Edb Limits Program Recalg_datalog Recalg_kernel Signature Spec Term Tvl

@@ -1,0 +1,1 @@
+lib/spec/equation.ml: Fmt List String Term

@@ -1,0 +1,1 @@
+lib/spec/equation.mli: Format Signature Term

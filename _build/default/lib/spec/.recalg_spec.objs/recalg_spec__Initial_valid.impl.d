@@ -1,0 +1,1 @@
+lib/spec/initial_valid.ml: Deductive Equation Fmt List Signature Spec String Term

@@ -1,0 +1,1 @@
+lib/spec/initial_valid.mli: Spec Term

@@ -1,0 +1,1 @@
+lib/spec/parameterized.ml: Equation List Signature Spec String Term

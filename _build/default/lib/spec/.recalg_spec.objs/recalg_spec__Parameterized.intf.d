@@ -1,0 +1,1 @@
+lib/spec/parameterized.mli: Signature Spec

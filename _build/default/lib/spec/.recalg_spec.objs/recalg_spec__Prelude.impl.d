@@ -1,0 +1,1 @@
+lib/spec/prelude.ml: Equation List Signature Spec Term

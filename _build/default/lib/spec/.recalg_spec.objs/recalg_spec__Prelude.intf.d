@@ -1,0 +1,1 @@
+lib/spec/prelude.mli: Spec Term

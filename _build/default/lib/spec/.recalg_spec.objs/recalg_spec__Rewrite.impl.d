@@ -1,0 +1,1 @@
+lib/spec/rewrite.ml: Equation Limits List Recalg_kernel Spec String Term Tvl

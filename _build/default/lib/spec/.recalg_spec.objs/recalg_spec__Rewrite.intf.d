@@ -1,0 +1,1 @@
+lib/spec/rewrite.mli: Limits Recalg_kernel Spec Term Tvl

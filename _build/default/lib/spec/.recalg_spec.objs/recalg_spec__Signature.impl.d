@@ -1,0 +1,1 @@
+lib/spec/signature.ml: Fmt List String

@@ -1,0 +1,1 @@
+lib/spec/spec.ml: Equation Fmt Hashtbl List Signature Term

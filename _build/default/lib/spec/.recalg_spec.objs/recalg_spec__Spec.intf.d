@@ -1,0 +1,1 @@
+lib/spec/spec.mli: Equation Format Signature Term

@@ -1,0 +1,1 @@
+lib/spec/term.ml: Fmt List Recalg_kernel Signature Stdlib String Value

@@ -1,0 +1,1 @@
+lib/spec/term.mli: Format Recalg_kernel Signature Value

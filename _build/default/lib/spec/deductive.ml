@@ -1,0 +1,192 @@
+open Recalg_kernel
+open Recalg_datalog
+
+type t = {
+  spec : Spec.t;
+  window : (Signature.sort * Term.t list) list;
+  program : Program.t;
+  edb : Edb.t;
+}
+
+type solved = { built : t; interp : Interp.t }
+
+let dom_pred sort = "dom_" ^ sort
+let eq_pred = "eq"
+
+(* Deductive terms from specification terms: operators are free
+   constructors; variables keep their names (made unique per rule by the
+   caller when needed). *)
+let rec dterm_of_term t =
+  match t with
+  | Term.Var (x, _) -> Dterm.var x
+  | Term.Op (name, args) -> Dterm.app ("c_" ^ name) (List.map dterm_of_term args)
+
+let rec value_of_term t =
+  match t with
+  | Term.Var (x, _) -> invalid_arg ("Deductive: variable " ^ x)
+  | Term.Op (name, args) -> Value.cstr ("c_" ^ name) (List.map value_of_term args)
+
+let rec term_of_value v =
+  match v with
+  | Value.Cstr (name, args) when String.length name > 2 && String.sub name 0 2 = "c_" ->
+    let rec go acc args =
+      match args with
+      | [] -> Some (Term.Op (String.sub name 2 (String.length name - 2), List.rev acc))
+      | a :: rest -> (
+        match term_of_value a with
+        | Some t -> go (t :: acc) rest
+        | None -> None)
+    in
+    go [] args
+  | Value.Cstr _ | Value.Int _ | Value.Str _ | Value.Bool _ | Value.Sym _
+  | Value.Tuple _ | Value.Set _ ->
+    None
+
+let sort_of_exn sg term =
+  match Term.sort_of sg term with
+  | Ok s -> s
+  | Error e -> invalid_arg ("Deductive.build: ill-sorted term: " ^ e)
+
+let build ?max_size ?cap spec =
+  let sg = Spec.signature spec in
+  let window =
+    List.map (fun s -> (s, Spec.ground_terms ?max_size ?cap spec s)) (Signature.sorts sg)
+  in
+  (* EDB: the window as dom_<sort> relations. *)
+  let edb =
+    List.fold_left
+      (fun edb (sort, terms) ->
+        List.fold_left
+          (fun edb term -> Edb.add (dom_pred sort) [ value_of_term term ] edb)
+          edb terms)
+      Edb.empty window
+  in
+  let x = Dterm.var "X"
+  and y = Dterm.var "Y"
+  and z = Dterm.var "Z" in
+  (* Equality axioms. Reflexivity ranges over each sort's window;
+     symmetry and transitivity are safe through the eq atoms themselves. *)
+  let refl =
+    List.map
+      (fun sort ->
+        Rule.make (Literal.atom eq_pred [ x; x ]) [ Literal.pos (dom_pred sort) [ x ] ])
+      (Signature.sorts sg)
+  in
+  let sym = Rule.make (Literal.atom eq_pred [ x; y ]) [ Literal.pos eq_pred [ y; x ] ] in
+  let trans =
+    Rule.make
+      (Literal.atom eq_pred [ x; z ])
+      [ Literal.pos eq_pred [ x; y ]; Literal.pos eq_pred [ y; z ] ]
+  in
+  (* Congruence (substitution axiom), one rule per non-constant operator:
+     equal arguments give equal applications, provided both applications
+     are inside the window. *)
+  let congruence =
+    List.filter_map
+      (fun (o : Signature.op) ->
+        let n = List.length o.Signature.arg_sorts in
+        if n = 0 then None
+        else
+          let xs = List.init n (fun i -> Dterm.var (Fmt.str "X%d" i)) in
+          let ys = List.init n (fun i -> Dterm.var (Fmt.str "Y%d" i)) in
+          let l = Dterm.var "L"
+          and r = Dterm.var "R" in
+          let body =
+            List.concat
+              (List.map2 (fun a b -> [ Literal.pos eq_pred [ a; b ] ]) xs ys)
+            @ [
+                Literal.eq l (Dterm.app ("c_" ^ o.Signature.name) xs);
+                Literal.pos (dom_pred o.Signature.result) [ l ];
+                Literal.eq r (Dterm.app ("c_" ^ o.Signature.name) ys);
+                Literal.pos (dom_pred o.Signature.result) [ r ];
+              ]
+          in
+          Some (Rule.make (Literal.atom eq_pred [ l; r ]) body))
+      (Signature.ops sg)
+  in
+  (* Each (generalized conditional) equation becomes a rule: variables
+     range over their sort's window, equation premises become eq atoms,
+     disequation premises become negated eq atoms (the Section 2.2
+     extension), and the conclusion's two sides must land in the window. *)
+  let of_equation (eq : Equation.t) =
+    let sort = sort_of_exn sg eq.Equation.lhs in
+    let guards =
+      List.map
+        (fun (v, s) -> Literal.pos (dom_pred s) [ Dterm.var v ])
+        (Equation.vars eq)
+    in
+    let premises =
+      List.map
+        (fun p ->
+          match p with
+          | Equation.Eq_prem (a, b) ->
+            Literal.pos eq_pred [ dterm_of_term a; dterm_of_term b ]
+          | Equation.Neq_prem (a, b) ->
+            Literal.neg eq_pred [ dterm_of_term a; dterm_of_term b ])
+        eq.Equation.premises
+    in
+    let l = Dterm.var "EQL"
+    and r = Dterm.var "EQR" in
+    let body =
+      guards @ premises
+      @ [
+          Literal.eq l (dterm_of_term eq.Equation.lhs);
+          Literal.pos (dom_pred sort) [ l ];
+          Literal.eq r (dterm_of_term eq.Equation.rhs);
+          Literal.pos (dom_pred sort) [ r ];
+        ]
+    in
+    Rule.make (Literal.atom eq_pred [ l; r ]) body
+  in
+  let equation_rules = List.map of_equation (Spec.equations spec) in
+  let program =
+    Program.make ~builtins:Builtins.empty
+      (refl @ [ sym; trans ] @ congruence @ equation_rules)
+  in
+  { spec; window; program; edb }
+
+let program t = (t.program, t.edb)
+
+let universe t sort = Option.value ~default:[] (List.assoc_opt sort t.window)
+
+let solve ?fuel t = { built = t; interp = Run.valid ?fuel t.program t.edb }
+
+let in_window built term =
+  List.exists (fun (_, terms) -> List.exists (Term.equal term) terms) built.window
+
+let eq_holds s t1 t2 =
+  if in_window s.built t1 && in_window s.built t2 then
+    Interp.holds s.interp eq_pred [ value_of_term t1; value_of_term t2 ]
+  else Tvl.Undef
+
+let true_pairs s =
+  List.filter_map
+    (fun args ->
+      match args with
+      | [ v1; v2 ] -> (
+        match term_of_value v1, term_of_value v2 with
+        | Some t1, Some t2 -> Some (t1, t2)
+        | _, _ -> None)
+      | _ -> None)
+    (Interp.true_tuples s.interp eq_pred)
+
+let classes s sort =
+  let terms = universe s.built sort in
+  let rec insert classes term =
+    match classes with
+    | [] -> [ [ term ] ]
+    | cls :: rest ->
+      if eq_holds s term (List.hd cls) = Tvl.True then (term :: cls) :: rest
+      else cls :: insert rest term
+  in
+  List.map List.rev (List.fold_left insert [] terms)
+
+let fully_defined s =
+  List.for_all
+    (fun (sort, _) ->
+      let terms = universe s.built sort in
+      List.for_all
+        (fun t1 ->
+          List.for_all (fun t2 -> Tvl.is_defined (eq_holds s t1 t2)) terms)
+        terms)
+    s.built.window

@@ -1,0 +1,41 @@
+(** The "deductive version" of a specification (Section 2.2).
+
+    A specification is viewed as a deductive program with ['='] the only
+    predicate: its rules are the (generalized conditional) equations plus
+    the standard equality axioms — reflexivity, symmetry, transitivity,
+    and substitution (congruence per operator). The valid model of this
+    program is the {e valid interpretation} of the specification: ground
+    equalities certainly true, certainly false, or undefined.
+
+    The Herbrand universe is infinite as soon as a non-constant operator
+    exists, so the program is evaluated over a finite window of ground
+    terms ({!Spec.ground_terms}); congruence and equation instances whose
+    terms fall outside the window are dropped. *)
+
+open Recalg_kernel
+open Recalg_datalog
+
+type t
+type solved
+
+val build : ?max_size:int -> ?cap:int -> Spec.t -> t
+val program : t -> Program.t * Edb.t
+(** The generated deductive program — [eq/2] rules over [dom_<sort>/1]
+    relations. *)
+
+val universe : t -> Signature.sort -> Term.t list
+val solve : ?fuel:Limits.fuel -> t -> solved
+
+val eq_holds : solved -> Term.t -> Term.t -> Tvl.t
+(** Valid-interpretation status of a ground equality. Terms outside the
+    window yield [Undef]. *)
+
+val true_pairs : solved -> (Term.t * Term.t) list
+
+val classes : solved -> Signature.sort -> Term.t list list
+(** Partition of the window's terms by certain equality — the carrier of
+    the initial valid model restricted to the window (meaningful when the
+    interpretation is two-valued on the window). *)
+
+val fully_defined : solved -> bool
+(** No ground equality over the window is undefined. *)

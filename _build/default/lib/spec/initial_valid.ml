@@ -1,0 +1,133 @@
+type verdict =
+  | Initial of Term.t list list
+  | No_initial of string
+
+let max_constants = 10
+
+let is_constants_only spec =
+  List.for_all
+    (fun (o : Signature.op) -> o.Signature.arg_sorts = [])
+    (Signature.ops (Spec.signature spec))
+
+(* All partitions of a list, as lists of blocks. *)
+let rec partitions xs =
+  match xs with
+  | [] -> [ [] ]
+  | x :: rest ->
+    List.concat_map
+      (fun p ->
+        (* x in its own block, or added to any one existing block. *)
+        let with_new = [ x ] :: p in
+        let with_existing =
+          List.mapi (fun i _ -> List.mapi (fun j b -> if i = j then x :: b else b) p) p
+        in
+        with_new :: with_existing)
+      (partitions rest)
+
+(* Same block test. *)
+let related partition a b =
+  List.exists (fun block -> List.mem a block && List.mem b block) partition
+
+(* Does the partition satisfy every equation? Constants-only, but
+   equations may still have variables ranging over the constants of their
+   sort. *)
+let satisfies spec partition =
+  let sg = Spec.signature spec in
+  let consts_of sort =
+    List.filter_map
+      (fun (o : Signature.op) ->
+        if o.Signature.arg_sorts = [] && String.equal o.Signature.result sort then
+          Some (Term.const o.Signature.name)
+        else None)
+      (Signature.ops sg)
+  in
+  let rec instances vars =
+    match vars with
+    | [] -> [ [] ]
+    | (x, sort) :: rest ->
+      List.concat_map
+        (fun c -> List.map (fun sub -> (x, c) :: sub) (instances rest))
+        (consts_of sort)
+  in
+  List.for_all
+    (fun (eq : Equation.t) ->
+      List.for_all
+        (fun sub ->
+          let inst t = Term.subst sub t in
+          let premise_holds p =
+            match p with
+            | Equation.Eq_prem (a, b) -> related partition (inst a) (inst b)
+            | Equation.Neq_prem (a, b) -> not (related partition (inst a) (inst b))
+          in
+          if List.for_all premise_holds eq.Equation.premises then
+            related partition (inst eq.Equation.lhs) (inst eq.Equation.rhs)
+          else true)
+        (instances (Equation.vars eq)))
+    (Spec.equations spec)
+
+let refines p1 p2 =
+  (* Every p1 block is inside some p2 block. *)
+  List.for_all
+    (fun block ->
+      List.exists (fun block' -> List.for_all (fun x -> List.mem x block') block) p2)
+    p1
+
+let decide spec =
+  if not (is_constants_only spec) then
+    Error
+      "the specification uses non-constant operations; initial-valid-model \
+       existence is undecidable there (Proposition 2.3(1))"
+  else begin
+    let sg = Spec.signature spec in
+    let constants = List.map (fun (o : Signature.op) -> Term.const o.Signature.name) (Signature.ops sg) in
+    if List.length constants > max_constants then
+      Error (Fmt.str "more than %d constants" max_constants)
+    else begin
+      (* Valid interpretation: the certainly-true equalities computed by
+         the deductive version (the window covers the whole universe for
+         constants-only specs). *)
+      let solved = Deductive.solve (Deductive.build spec) in
+      let certainly_equal = Deductive.true_pairs solved in
+      (* Partitions must respect sorts: constants of different sorts are
+         never identified. We partition each sort separately and take
+         products. *)
+      let sorts = Signature.sorts sg in
+      let by_sort =
+        List.map
+          (fun s ->
+            List.filter
+              (fun c -> Term.sort_of sg c = Ok s)
+              constants)
+          sorts
+      in
+      let rec sort_products groups =
+        match groups with
+        | [] -> [ [] ]
+        | g :: rest ->
+          List.concat_map
+            (fun p -> List.map (fun tail -> p @ tail) (sort_products rest))
+            (partitions g)
+      in
+      let all = sort_products by_sort in
+      let valid_models =
+        List.filter
+          (fun p ->
+            satisfies spec p
+            && List.for_all (fun (a, b) -> related p a b) certainly_equal)
+          all
+      in
+      match valid_models with
+      | [] -> Ok (No_initial "the specification has no valid model")
+      | _ -> (
+        match
+          List.find_opt
+            (fun p -> List.for_all (fun q -> refines p q) valid_models)
+            valid_models
+        with
+        | Some least -> Ok (Initial (List.filter (fun b -> b <> []) least))
+        | None ->
+          Ok
+            (No_initial
+               "no least valid model: incompatible valid algebras (as in Example 2)"))
+    end
+  end

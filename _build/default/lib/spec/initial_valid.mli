@@ -1,0 +1,28 @@
+(** Existence of an initial valid model — the decidable case.
+
+    Proposition 2.3: existence of an initial valid model is undecidable in
+    general, but decidable when only 0-ary operations (constants) are
+    used. This module implements that decision procedure.
+
+    For a constants-only specification the reachable algebras are exactly
+    the quotients of the constant set, i.e. the partitions; a (unique)
+    homomorphism from [C/θ1] to [C/θ2] exists iff [θ1 ⊆ θ2]. So an
+    initial valid model exists iff among the {e valid} partitions (models
+    whose congruence contains the certainly-true equalities of the valid
+    interpretation) there is a least one under refinement. The procedure
+    enumerates all partitions (Bell-number many — the sealed-world
+    guard rejects more than {!max_constants} constants), filters the
+    valid models, and checks their intersection is itself one of them. *)
+
+type verdict =
+  | Initial of Term.t list list
+      (** the initial valid model's partition of the constants *)
+  | No_initial of string  (** why: no valid model, or no least one *)
+
+val max_constants : int
+
+val decide : Spec.t -> (verdict, string) result
+(** [Error] when the specification uses non-constant operations (the
+    undecidable case — Proposition 2.3 (1)) or has too many constants. *)
+
+val is_constants_only : Spec.t -> bool

@@ -1,0 +1,139 @@
+type t = { formal : Signature.sort; body : Spec.t }
+
+let make ~formal body =
+  if not (Signature.has_sort (Spec.signature body) formal) then
+    invalid_arg ("Parameterized.make: formal sort " ^ formal ^ " not declared");
+  { formal; body }
+
+let formal t = t.formal
+let body t = t.body
+
+let rec rename_term subst_op term =
+  match term with
+  | Term.Var (x, sort) -> Term.Var (x, sort)
+  | Term.Op (name, args) -> Term.Op (subst_op name, List.map (rename_term subst_op) args)
+
+(* Substitute sorts in a variable's annotation. *)
+let rec retype_term subst_sort subst_op term =
+  match term with
+  | Term.Var (x, sort) -> Term.Var (x, subst_sort sort)
+  | Term.Op (name, args) ->
+    Term.Op (subst_op name, List.map (retype_term subst_sort subst_op) args)
+
+let instantiate t ~actual ~actual_spec ?rename () =
+  let rename =
+    match rename with
+    | Some f -> f
+    | None -> fun name -> name ^ "_" ^ actual
+  in
+  let body_sig = Spec.signature t.body in
+  let actual_sig = Spec.signature actual_spec in
+  (* Sorts the body introduces (everything but the formal and sorts the
+     actual parameter's spec already provides). *)
+  let introduced_sort s =
+    (not (String.equal s t.formal)) && not (Signature.has_sort actual_sig s)
+  in
+  let subst_sort s =
+    if String.equal s t.formal then actual
+    else if introduced_sort s then rename s
+    else s
+  in
+  let introduced_op name =
+    Signature.find_op body_sig name <> None
+    && Signature.find_op actual_sig name = None
+  in
+  let subst_op name = if introduced_op name then rename name else name in
+  let sorts =
+    List.filter_map
+      (fun s -> if String.equal s t.formal then None else Some (subst_sort s))
+      (Signature.sorts body_sig)
+  in
+  let ops =
+    List.filter_map
+      (fun (o : Signature.op) ->
+        if introduced_op o.Signature.name then
+          Some
+            (Signature.op (subst_op o.Signature.name)
+               (List.map subst_sort o.Signature.arg_sorts)
+               (subst_sort o.Signature.result))
+        else None)
+      (Signature.ops body_sig)
+  in
+  let instance_sig =
+    Signature.union actual_sig
+      (Signature.make
+         ~sorts:(sorts @ List.filter (fun s -> not (List.mem s sorts)) (Signature.sorts actual_sig))
+         ~ops)
+  in
+  let map_term = retype_term subst_sort subst_op in
+  let map_premise p =
+    match p with
+    | Equation.Eq_prem (a, b) -> Equation.Eq_prem (map_term a, map_term b)
+    | Equation.Neq_prem (a, b) -> Equation.Neq_prem (map_term a, map_term b)
+  in
+  let equations =
+    List.map
+      (fun (eq : Equation.t) ->
+        {
+          Equation.premises = List.map map_premise eq.Equation.premises;
+          lhs = map_term eq.Equation.lhs;
+          rhs = map_term eq.Equation.rhs;
+        })
+      (Spec.equations t.body)
+  in
+  Spec.import (Spec.make instance_sig equations) actual_spec
+
+let _ = rename_term
+
+let set_body ~elem ~eq ~with_default =
+  let set_sort = "set" in
+  let sg =
+    Signature.make
+      ~sorts:[ elem; set_sort; "bool" ]
+      ~ops:
+        [
+          Signature.constant "EMPTY" set_sort;
+          Signature.op "INS" [ elem; set_sort ] set_sort;
+          Signature.op "MEM" [ elem; set_sort ] "bool";
+          (* The formal parameter's required interface: an equality test
+             (footnote 1) and the booleans. These are *used*, not
+             introduced: instantiation must supply them. *)
+          Signature.op eq [ elem; elem ] "bool";
+          Signature.constant "T" "bool";
+          Signature.constant "F" "bool";
+        ]
+  in
+  let d = Term.var "d" elem
+  and d' = Term.var "d2" elem
+  and s = Term.var "s" set_sort in
+  let ins a b = Term.op "INS" [ a; b ] in
+  let mem a b = Term.op "MEM" [ a; b ] in
+  let eqt a b = Term.op eq [ a; b ] in
+  let tt = Term.const "T"
+  and ff = Term.const "F" in
+  let base =
+    [
+      Equation.equation (ins d (ins d s)) (ins d s);
+      Equation.equation (ins d (ins d' s)) (ins d' (ins d s));
+      Equation.equation (mem d (Term.const "EMPTY")) ff;
+      Equation.equation ~premises:[ Equation.eq_prem (eqt d d') tt ] (mem d (ins d' s)) tt;
+      Equation.equation
+        ~premises:[ Equation.eq_prem (eqt d d') ff ]
+        (mem d (ins d' s))
+        (mem d s);
+    ]
+  in
+  let eqs =
+    if with_default then
+      let x = Term.var "x" elem
+      and y = Term.var "y" set_sort in
+      let memt = Term.op "MEM" [ x; y ] in
+      Equation.equation ~premises:[ Equation.neq_prem memt tt ] memt ff :: base
+    else base
+  in
+  Spec.make sg eqs
+
+let set_of ~elem ~eq = { formal = elem; body = set_body ~elem ~eq ~with_default:false }
+
+let set_with_default ~elem ~eq =
+  { formal = elem; body = set_body ~elem ~eq ~with_default:true }

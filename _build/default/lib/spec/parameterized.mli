@@ -1,0 +1,39 @@
+(** Parameterised specifications (Section 2.1).
+
+    "By replacing [nat] with a type variable [data], we obtain a
+    parameterized specification, which can be instantiated by
+    substituting a concrete type for [data]."
+
+    A parameterised specification is a specification over a formal sort;
+    {!instantiate} substitutes an actual sort (renaming the generated
+    sorts and operations to keep instances apart) and imports the actual
+    parameter's specification. {!set_of} is the paper's SET(data):
+    per footnote 1, it requires an equality operation on the element
+    sort. *)
+
+type t
+
+val make : formal:Signature.sort -> Spec.t -> t
+(** The body may use the formal sort freely. Raises [Invalid_argument]
+    if the formal sort is not declared in the body's signature. *)
+
+val formal : t -> Signature.sort
+val body : t -> Spec.t
+
+val instantiate :
+  t -> actual:Signature.sort -> actual_spec:Spec.t ->
+  ?rename:(string -> string) -> unit -> Spec.t
+(** Substitute [actual] for the formal sort, rename every sort and
+    operation the parameterised body {e introduces} through [rename]
+    (default: suffix ["_" ^ actual]), and import [actual_spec]. *)
+
+val set_of : elem:Signature.sort -> eq:string -> t
+(** The SET(data) specification of Section 2.1: sort [set], operations
+    [EMPTY], [INS], [MEM], insertion idempotence and commutativity, and
+    the conditional [MEM] equations phrased with the element equality
+    operation [eq : elem, elem -> bool]. Instantiating with [nat]/[EQ]
+    yields exactly the paper's SET(nat). *)
+
+val set_with_default : elem:Signature.sort -> eq:string -> t
+(** [set_of] plus the Section 2.2 default
+    [MEM(x, y) =/= T -> MEM(x, y) = F]. *)

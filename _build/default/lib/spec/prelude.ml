@@ -1,0 +1,147 @@
+let tt = Term.const "T"
+let ff = Term.const "F"
+
+let bool_spec =
+  Spec.make
+    (Signature.make ~sorts:[ "bool" ]
+       ~ops:[ Signature.constant "T" "bool"; Signature.constant "F" "bool" ])
+    []
+
+(* EQ needs bool in scope; build the union signature directly. *)
+let nat_spec =
+  let sg =
+    Signature.union (Spec.signature bool_spec)
+      (Signature.make ~sorts:[ "nat"; "bool" ]
+         ~ops:
+           [
+             Signature.constant "ZERO" "nat";
+             Signature.op "SUCC" [ "nat" ] "nat";
+             Signature.op "EQ" [ "nat"; "nat" ] "bool";
+           ])
+  in
+  let x = Term.var "x" "nat"
+  and y = Term.var "y" "nat" in
+  let zero = Term.const "ZERO" in
+  let succ t = Term.op "SUCC" [ t ] in
+  let eq a b = Term.op "EQ" [ a; b ] in
+  Spec.make sg
+    [
+      Equation.equation (eq zero zero) tt;
+      Equation.equation (eq (succ x) (succ y)) (eq x y);
+      Equation.equation (eq zero (succ x)) ff;
+      Equation.equation (eq (succ x) zero) ff;
+    ]
+
+let set_ops =
+  [
+    Signature.constant "EMPTY" "set";
+    Signature.op "INS" [ "nat"; "set" ] "set";
+    Signature.op "MEM" [ "nat"; "set" ] "bool";
+  ]
+
+let set_equations ~with_commutativity =
+  let d = Term.var "d" "nat"
+  and d' = Term.var "d2" "nat"
+  and s = Term.var "s" "set" in
+  let ins a b = Term.op "INS" [ a; b ] in
+  let mem a b = Term.op "MEM" [ a; b ] in
+  let eq a b = Term.op "EQ" [ a; b ] in
+  let base =
+    [
+      (* INS(d, INS(d, s)) = INS(d, s) *)
+      Equation.equation (ins d (ins d s)) (ins d s);
+      (* MEM(d, EMPTY) = FALSE *)
+      Equation.equation (mem d (Term.const "EMPTY")) ff;
+      (* MEM(d, INS(d', s)) = IF EQ(d, d') THEN TRUE ELSE MEM(d, s),
+         split into two conditional equations. *)
+      Equation.equation
+        ~premises:[ Equation.eq_prem (eq d d') tt ]
+        (mem d (ins d' s)) tt;
+      Equation.equation
+        ~premises:[ Equation.eq_prem (eq d d') ff ]
+        (mem d (ins d' s))
+        (mem d s);
+    ]
+  in
+  if with_commutativity then
+    Equation.equation (ins d (ins d' s)) (ins d' (ins d s)) :: base
+  else base
+
+let set_sig =
+  Signature.union (Spec.signature nat_spec)
+    (Signature.make ~sorts:[ "nat"; "set"; "bool" ] ~ops:set_ops)
+
+let set_nat_spec =
+  Spec.import (Spec.make set_sig (set_equations ~with_commutativity:true)) nat_spec
+
+let mem_default =
+  let x = Term.var "x" "nat"
+  and y = Term.var "y" "set" in
+  let memt = Term.op "MEM" [ x; y ] in
+  Equation.equation ~premises:[ Equation.neq_prem memt tt ] memt ff
+
+let set_nat_with_default =
+  Spec.import (Spec.make set_sig (mem_default :: set_equations ~with_commutativity:true)) nat_spec
+
+let set_nat_rewrite_spec =
+  Spec.import (Spec.make set_sig (set_equations ~with_commutativity:false)) nat_spec
+
+let even_spec =
+  let sg =
+    Signature.union (Spec.signature nat_spec)
+      (Signature.make ~sorts:[ "nat"; "bool" ]
+         ~ops:[ Signature.op "even" [ "nat" ] "bool" ])
+  in
+  let x = Term.var "x" "nat" in
+  let ev t = Term.op "even" [ t ] in
+  let succ t = Term.op "SUCC" [ t ] in
+  Spec.import
+    (Spec.make sg
+       [
+         Equation.equation (ev (Term.const "ZERO")) tt;
+         Equation.equation (ev (succ (succ x))) (ev x);
+         Equation.equation ~premises:[ Equation.neq_prem (ev x) tt ] (ev x) ff;
+       ])
+    nat_spec
+
+let example2_spec =
+  let sg =
+    Signature.make ~sorts:[ "s" ]
+      ~ops:
+        [
+          Signature.constant "a" "s";
+          Signature.constant "b" "s";
+          Signature.constant "c" "s";
+        ]
+  in
+  let a = Term.const "a"
+  and b = Term.const "b"
+  and c = Term.const "c" in
+  Spec.make sg
+    [
+      Equation.equation ~premises:[ Equation.neq_prem a b ] a c;
+      Equation.equation ~premises:[ Equation.neq_prem a c ] a b;
+    ]
+
+let example2_fixed_spec =
+  let sg =
+    Signature.make ~sorts:[ "s" ]
+      ~ops:
+        [
+          Signature.constant "a" "s";
+          Signature.constant "b" "s";
+          Signature.constant "c" "s";
+        ]
+  in
+  Spec.make sg [ Equation.equation (Term.const "a") (Term.const "b") ]
+
+let rec nat_of_int n =
+  if n <= 0 then Term.const "ZERO" else Term.op "SUCC" [ nat_of_int (n - 1) ]
+
+let set_of_ints ns =
+  List.fold_left
+    (fun acc n -> Term.op "INS" [ nat_of_int n; acc ])
+    (Term.const "EMPTY") (List.rev ns)
+
+let mem a b = Term.op "MEM" [ a; b ]
+let even t = Term.op "even" [ t ]

@@ -1,0 +1,53 @@
+(** The paper's running specifications, ready to use.
+
+    All operator names follow the paper: [T]/[F] for the booleans, [ZERO]
+    and [SUCC] for the naturals, [EMPTY]/[INS]/[MEM] for finite sets of
+    naturals (Section 2.1), the even-number predicate with the negative
+    default rule (the Section 2.2 example, recast over the [even]
+    boolean function), and Example 2's three-constant specification with
+    no initial valid model. *)
+
+val bool_spec : Spec.t
+(** Sort [bool] with constants [T], [F]. *)
+
+val nat_spec : Spec.t
+(** [bool] + sort [nat] with [ZERO], [SUCC], and the equality test
+    [EQ : nat, nat -> bool] defined by structural recursion. *)
+
+val set_nat_spec : Spec.t
+(** The SET(nat) specification of Section 2.1 verbatim: [EMPTY], [INS],
+    [MEM], insertion idempotence and commutativity, and the two [MEM]
+    equations (conditional on [EQ]). *)
+
+val set_nat_with_default : Spec.t
+(** [set_nat_spec] plus the Section 2.2 default
+    [MEM(x, y) =/= T -> MEM(x, y) = F]. *)
+
+val set_nat_rewrite_spec : Spec.t
+(** A terminating variant for the rewriting engine: insertion
+    commutativity (a looping rewrite rule) is dropped — [MEM] evaluation
+    does not need it. *)
+
+val even_spec : Spec.t
+(** [nat] + [even : nat -> bool] with [even(0) = T],
+    [even(SUCC(SUCC(x))) = even(x)], and the valid-semantics default
+    [even(x) =/= T -> even(x) = F] — the executable content of the even
+    numbers example. *)
+
+val example2_spec : Spec.t
+(** Three constants [a], [b], [c] with [a =/= b -> a = c] and
+    [a =/= c -> a = b]: all models valid, none initial (Example 2). *)
+
+val example2_fixed_spec : Spec.t
+(** Constants [a], [b], [c] with the unconditional [a = b] — a
+    constants-only specification {e with} an initial valid model, for
+    contrast. *)
+
+(** {1 Term helpers} *)
+
+val nat_of_int : int -> Term.t
+val set_of_ints : int list -> Term.t
+val mem : Term.t -> Term.t -> Term.t
+val even : Term.t -> Term.t
+val tt : Term.t
+val ff : Term.t

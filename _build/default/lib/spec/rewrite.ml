@@ -1,0 +1,76 @@
+open Recalg_kernel
+
+let match_term pattern term =
+  let rec go subst pattern term =
+    match pattern, term with
+    | Term.Var (x, _), _ -> (
+      match List.assoc_opt x subst with
+      | Some bound -> if Term.equal bound term then Some subst else None
+      | None -> Some ((x, term) :: subst))
+    | Term.Op (f, args), Term.Op (g, args')
+      when String.equal f g && List.length args = List.length args' ->
+      let rec fold subst args args' =
+        match args, args' with
+        | [], [] -> Some subst
+        | a :: rest, b :: rest' -> (
+          match go subst a b with
+          | Some subst' -> fold subst' rest rest'
+          | None -> None)
+        | _, _ -> None
+      in
+      fold subst args args'
+    | Term.Op _, _ -> None
+  in
+  go [] pattern term
+
+let rec rewrite_step ?(fuel = Limits.default ()) spec term =
+  Limits.spend fuel ~what:"Rewrite.rewrite_step";
+  (* Innermost: rewrite arguments first. *)
+  match term with
+  | Term.Var _ -> None
+  | Term.Op (f, args) -> (
+    let rec rewrite_args acc args =
+      match args with
+      | [] -> None
+      | a :: rest -> (
+        match rewrite_step ~fuel spec a with
+        | Some a' -> Some (List.rev_append acc (a' :: rest))
+        | None -> rewrite_args (a :: acc) rest)
+    in
+    match rewrite_args [] args with
+    | Some args' -> Some (Term.Op (f, args'))
+    | None ->
+      (* Arguments normal: try each rule at the root. *)
+      List.find_map
+        (fun (eq : Equation.t) ->
+          match match_term eq.Equation.lhs term with
+          | None -> None
+          | Some subst ->
+            let premises_hold =
+              List.for_all
+                (fun p ->
+                  match p with
+                  | Equation.Eq_prem (a, b) ->
+                    Term.equal
+                      (normalize ~fuel spec (Term.subst subst a))
+                      (normalize ~fuel spec (Term.subst subst b))
+                  | Equation.Neq_prem (a, b) ->
+                    not
+                      (Term.equal
+                         (normalize ~fuel spec (Term.subst subst a))
+                         (normalize ~fuel spec (Term.subst subst b))))
+                eq.Equation.premises
+            in
+            if premises_hold then Some (Term.subst subst eq.Equation.rhs) else None)
+        (Spec.equations spec))
+
+and normalize ?(fuel = Limits.default ()) spec term =
+  match rewrite_step ~fuel spec term with
+  | Some term' -> normalize ~fuel spec term'
+  | None -> term
+
+let eval_bool ?fuel spec term =
+  match normalize ?fuel spec term with
+  | Term.Op ("T", []) | Term.Op ("TRUE", []) -> Tvl.True
+  | Term.Op ("F", []) | Term.Op ("FALSE", []) -> Tvl.False
+  | Term.Op _ | Term.Var _ -> Tvl.Undef

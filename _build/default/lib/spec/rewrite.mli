@@ -1,0 +1,26 @@
+(** Directed term rewriting — the operational reading of a specification
+    ("It is easy to see (using term rewriting) ...", Example 1).
+
+    Equations are used left-to-right as rewrite rules. Premises of
+    conditional rules are checked recursively: an equation premise holds
+    when both sides normalise to the same term; a disequation premise
+    when they normalise to distinct normal forms — a sound approximation
+    of the valid interpretation for confluent, terminating specifications
+    such as SET(nat). *)
+
+open Recalg_kernel
+
+val match_term : Term.t -> Term.t -> (string * Term.t) list option
+(** One-way matching of a pattern (left) against a ground term. *)
+
+val rewrite_step : ?fuel:Limits.fuel -> Spec.t -> Term.t -> Term.t option
+(** One innermost rewrite, if some rule applies. *)
+
+val normalize : ?fuel:Limits.fuel -> Spec.t -> Term.t -> Term.t
+(** Innermost normalisation; raises [Limits.Diverged] on runaway rule
+    systems. *)
+
+val eval_bool : ?fuel:Limits.fuel -> Spec.t -> Term.t -> Tvl.t
+(** Normalise a boolean-sorted term and read off [T]/[F] constants;
+    [Undef] when the normal form is neither — e.g. membership in an
+    underspecified set before the Section 2.2 default rule is added. *)

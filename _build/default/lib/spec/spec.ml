@@ -1,0 +1,81 @@
+type t = { signature : Signature.t; equations : Equation.t list }
+
+let make signature equations = { signature; equations }
+
+let import a b =
+  {
+    signature = Signature.union a.signature b.signature;
+    equations = a.equations @ List.filter (fun e -> not (List.mem e a.equations)) b.equations;
+  }
+
+let signature t = t.signature
+let equations t = t.equations
+
+let check t =
+  let rec go eqs =
+    match eqs with
+    | [] -> Ok ()
+    | eq :: rest -> (
+      match Equation.check t.signature eq with
+      | Ok () -> go rest
+      | Error e -> Error (Fmt.str "%a: %s" Equation.pp eq e))
+  in
+  go t.equations
+
+let uses_negation t = List.exists Equation.has_negative_premise t.equations
+
+let ground_terms ?(max_size = 4) ?(cap = 200) t sort =
+  (* Breadth-first by size: terms of size n combine an operator with
+     argument terms of total size n-1. *)
+  let sg = t.signature in
+  let by_sort : (Signature.sort, Term.t list ref) Hashtbl.t = Hashtbl.create 8 in
+  let pool s =
+    match Hashtbl.find_opt by_sort s with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.add by_sort s l;
+      l
+  in
+  let add s term =
+    let l = pool s in
+    if List.length !l < cap && not (List.exists (Term.equal term) !l) then begin
+      l := !l @ [ term ];
+      true
+    end
+    else false
+  in
+  let changed = ref true in
+  let size = ref 1 in
+  while !changed && !size <= max_size do
+    changed := false;
+    List.iter
+      (fun (o : Signature.op) ->
+        (* All argument combinations drawn from current pools whose result
+           has exactly the target size. *)
+        let rec combos arg_sorts =
+          match arg_sorts with
+          | [] -> [ [] ]
+          | s :: rest ->
+            let args = !(pool s) in
+            List.concat_map (fun a -> List.map (fun t -> a :: t) (combos rest)) args
+        in
+        List.iter
+          (fun args ->
+            let term = Term.Op (o.Signature.name, args) in
+            if Term.size term <= !size then
+              if add o.Signature.result term then changed := true)
+          (combos o.Signature.arg_sorts))
+      (Signature.ops sg);
+    if not !changed then begin
+      (* Nothing at this size: allow bigger terms next round. *)
+      incr size;
+      changed := !size <= max_size
+    end
+  done;
+  !(pool sort)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@ eqns:@ %a@]" Signature.pp t.signature
+    Fmt.(list ~sep:cut Equation.pp)
+    t.equations

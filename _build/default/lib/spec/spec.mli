@@ -1,0 +1,21 @@
+(** Abstract data type specifications: [SPEC = (S, OP, E)] (Definition
+    2.1), extended with disequation premises (Section 2.2). *)
+
+type t
+
+val make : Signature.t -> Equation.t list -> t
+val import : t -> t -> t
+(** The paper's [nat + bool + ...] import notation. *)
+
+val signature : t -> Signature.t
+val equations : t -> Equation.t list
+val check : t -> (unit, string) result
+val uses_negation : t -> bool
+
+val ground_terms : ?max_size:int -> ?cap:int -> t -> Signature.sort -> Term.t list
+(** Ground terms of the sort, by increasing size, up to [max_size]
+    (default 4) and at most [cap] (default 200) terms per sort — the
+    finite window of the Herbrand universe the deductive version is
+    evaluated over. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,91 @@
+open Recalg_kernel
+
+type t =
+  | Var of string * Signature.sort
+  | Op of string * t list
+
+let var x sort = Var (x, sort)
+let op name args = Op (name, args)
+let const name = Op (name, [])
+
+let rec sort_of sg t =
+  match t with
+  | Var (_, sort) ->
+    if Signature.has_sort sg sort then Ok sort
+    else Error ("undeclared sort " ^ sort)
+  | Op (name, args) -> (
+    match Signature.find_op sg name with
+    | None -> Error ("undeclared operation " ^ name)
+    | Some o ->
+      if List.length o.Signature.arg_sorts <> List.length args then
+        Error ("arity mismatch applying " ^ name)
+      else
+        let rec check args expected =
+          match args, expected with
+          | [], [] -> Ok o.Signature.result
+          | a :: args', s :: expected' -> (
+            match sort_of sg a with
+            | Ok s' when String.equal s s' -> check args' expected'
+            | Ok s' ->
+              Error
+                (Fmt.str "argument of %s has sort %s, expected %s" name s' s)
+            | Error e -> Error e)
+          | _, _ -> assert false
+        in
+        check args o.Signature.arg_sorts)
+
+let vars t =
+  let rec go acc t =
+    match t with
+    | Var (x, s) -> if List.mem_assoc x acc then acc else (x, s) :: acc
+    | Op (_, args) -> List.fold_left go acc args
+  in
+  List.rev (go [] t)
+
+let rec is_ground t =
+  match t with
+  | Var _ -> false
+  | Op (_, args) -> List.for_all is_ground args
+
+let rec subst bindings t =
+  match t with
+  | Var (x, _) -> (
+    match List.assoc_opt x bindings with
+    | Some replacement -> replacement
+    | None -> t)
+  | Op (name, args) -> Op (name, List.map (subst bindings) args)
+
+let rec to_value t =
+  match t with
+  | Var (x, _) -> invalid_arg ("Term.to_value: variable " ^ x)
+  | Op (name, args) -> Value.cstr name (List.map to_value args)
+
+let rec of_value v =
+  match v with
+  | Value.Cstr (name, args) ->
+    let rec go acc args =
+      match args with
+      | [] -> Some (Op (name, List.rev acc))
+      | a :: rest -> (
+        match of_value a with
+        | Some t -> go (t :: acc) rest
+        | None -> None)
+    in
+    go [] args
+  | Value.Int _ | Value.Str _ | Value.Bool _ | Value.Sym _ | Value.Tuple _
+  | Value.Set _ ->
+    None
+
+let rec size t =
+  match t with
+  | Var _ -> 1
+  | Op (_, args) -> 1 + List.fold_left (fun acc a -> acc + size a) 0 args
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let rec pp ppf t =
+  match t with
+  | Var (x, _) -> Fmt.string ppf x
+  | Op (name, []) -> Fmt.string ppf name
+  | Op (name, args) -> Fmt.pf ppf "%s(%a)" name Fmt.(list ~sep:comma pp) args

@@ -1,0 +1,28 @@
+(** Many-sorted terms over a signature. *)
+
+open Recalg_kernel
+
+type t =
+  | Var of string * Signature.sort
+  | Op of string * t list
+
+val var : string -> Signature.sort -> t
+val op : string -> t list -> t
+val const : string -> t
+
+val sort_of : Signature.t -> t -> (Signature.sort, string) result
+(** Infer and check the sort; [Error] explains arity or sort mismatches. *)
+
+val vars : t -> (string * Signature.sort) list
+val is_ground : t -> bool
+val subst : (string * t) list -> t -> t
+
+val to_value : t -> Value.t
+(** Ground terms as constructor values of the Herbrand universe; raises
+    [Invalid_argument] on variables. *)
+
+val of_value : Value.t -> t option
+val size : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/translate/alg_to_datalog.ml: Builtins Db Defs Dterm Edb Efun Expr Fmt Interp List Literal Option Pred Program Rec_eval Recalg_algebra Recalg_datalog Recalg_kernel Rule Value

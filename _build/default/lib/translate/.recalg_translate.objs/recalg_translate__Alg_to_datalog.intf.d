@@ -1,0 +1,1 @@
+lib/translate/alg_to_datalog.mli: Db Defs Edb Expr Interp Program Rec_eval Recalg_algebra Recalg_datalog

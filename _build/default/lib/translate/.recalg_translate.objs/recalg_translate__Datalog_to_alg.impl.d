@@ -1,0 +1,1 @@
+lib/translate/datalog_to_alg.ml: Builtins Db Defs Dterm Edb Efun Expr List Literal Option Pred Program Rec_eval Recalg_algebra Recalg_datalog Recalg_kernel Rule Safety String Value

@@ -1,0 +1,1 @@
+lib/translate/datalog_to_alg.mli: Db Defs Edb Expr Program Rec_eval Recalg_algebra Recalg_datalog Recalg_kernel Rule Value

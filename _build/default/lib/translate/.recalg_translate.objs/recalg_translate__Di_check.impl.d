@@ -1,0 +1,1 @@
+lib/translate/di_check.ml: Di_to_safe Edb Fmt Interp List Program Recalg_datalog Recalg_kernel Run Value

@@ -1,0 +1,1 @@
+lib/translate/di_check.mli: Edb Program Recalg_datalog Recalg_kernel

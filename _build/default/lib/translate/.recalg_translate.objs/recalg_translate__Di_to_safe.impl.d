@@ -1,0 +1,1 @@
+lib/translate/di_to_safe.ml: Builtins Dterm Edb List Literal Program Recalg_datalog Recalg_kernel Rule Safety Set Value

@@ -1,0 +1,1 @@
+lib/translate/di_to_safe.mli: Edb Program Recalg_datalog Recalg_kernel

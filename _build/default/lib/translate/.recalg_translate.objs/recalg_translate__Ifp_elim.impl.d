@@ -1,0 +1,1 @@
+lib/translate/ifp_elim.ml: Alg_to_datalog Datalog_to_alg Db Defs Expr Inflationary_removal List Rec_eval Recalg_algebra Recalg_kernel Value

@@ -1,0 +1,1 @@
+lib/translate/ifp_elim.mli: Db Defs Expr Limits Rec_eval Recalg_algebra Recalg_kernel Value

@@ -1,0 +1,1 @@
+lib/translate/inflationary_removal.ml: Dterm Edb Fmt Interp List Literal Program Recalg_datalog Recalg_kernel Rule Run String Value

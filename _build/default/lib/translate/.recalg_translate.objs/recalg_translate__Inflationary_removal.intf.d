@@ -1,0 +1,1 @@
+lib/translate/inflationary_removal.mli: Edb Interp Limits Program Recalg_datalog Recalg_kernel

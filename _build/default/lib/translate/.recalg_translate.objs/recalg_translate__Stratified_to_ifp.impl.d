@@ -1,0 +1,1 @@
+lib/translate/stratified_to_ifp.ml: Datalog_to_alg Db Defs Edb Efun Eval Expr Fmt List Pred Program Recalg_algebra Recalg_datalog Recalg_kernel Safety Stratify String Value

@@ -1,0 +1,1 @@
+lib/translate/stratified_to_ifp.mli: Db Defs Edb Limits Program Recalg_algebra Recalg_datalog Recalg_kernel Value

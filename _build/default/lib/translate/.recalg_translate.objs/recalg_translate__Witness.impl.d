@@ -1,0 +1,1 @@
+lib/translate/witness.ml: Defs Expr Pred Rec_eval Recalg_algebra Recalg_kernel Tvl

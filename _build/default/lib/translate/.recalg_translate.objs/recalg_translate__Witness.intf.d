@@ -1,0 +1,1 @@
+lib/translate/witness.mli: Db Defs Limits Recalg_algebra Recalg_kernel Value

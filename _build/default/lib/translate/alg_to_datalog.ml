@@ -1,0 +1,180 @@
+open Recalg_kernel
+open Recalg_datalog
+open Recalg_algebra
+
+type t = {
+  program : Program.t;
+  edb : Edb.t;
+  query_pred : string;
+  constant_preds : (string * string) list;
+  uses_ifp : bool;
+}
+
+type ctx = {
+  mutable counter : int;
+  mutable rules : Rule.t list;
+  mutable builtins : Builtins.t;
+  mutable saw_ifp : bool;
+  constants : (string * string) list;  (* defined constant -> predicate *)
+}
+
+let fresh ctx prefix =
+  ctx.counter <- ctx.counter + 1;
+  Fmt.str "%s_%d" prefix ctx.counter
+
+let add_rule ctx r = ctx.rules <- r :: ctx.rules
+
+(* Register an element function as an interpreted unary function and a
+   selection test as an interpreted boolean function, so translated rules
+   can use them in terms. *)
+let register_efun ctx builtins_src f =
+  let name = fresh ctx "ef" in
+  ctx.builtins <-
+    Builtins.add_fn name
+      (fun args ->
+        match args with
+        | [ v ] -> Efun.apply builtins_src f v
+        | _ -> None)
+      ctx.builtins;
+  name
+
+let register_pred ctx builtins_src p =
+  let name = fresh ctx "tst" in
+  ctx.builtins <-
+    Builtins.add_fn name
+      (fun args ->
+        match args with
+        | [ v ] -> Option.map Value.bool (Pred.eval builtins_src p v)
+        | _ -> None)
+      ctx.builtins;
+  name
+
+let x = Dterm.var "X"
+let y = Dterm.var "Y"
+
+(* Compile an expression to the name of a unary predicate denoting it.
+   [env] maps IFP-bound variables (and defined constants) to predicate
+   names. *)
+let rec compile ctx builtins_src env e =
+  match e with
+  | Expr.Rel name -> (
+    match List.assoc_opt name env with
+    | Some pred -> pred
+    | None -> name (* database relation: predicate of the same name *))
+  | Expr.Lit v ->
+    let p = fresh ctx "lit" in
+    List.iter
+      (fun elem -> add_rule ctx (Rule.fact p [ Dterm.cst elem ]))
+      (Value.elements v);
+    p
+  | Expr.Param name -> invalid_arg ("Alg_to_datalog: unsubstituted parameter " ^ name)
+  | Expr.Union (a, b) ->
+    let pa = compile ctx builtins_src env a in
+    let pb = compile ctx builtins_src env b in
+    let p = fresh ctx "union" in
+    add_rule ctx (Rule.make (Literal.atom p [ x ]) [ Literal.pos pa [ x ] ]);
+    add_rule ctx (Rule.make (Literal.atom p [ x ]) [ Literal.pos pb [ x ] ]);
+    p
+  | Expr.Diff (a, b) ->
+    let pa = compile ctx builtins_src env a in
+    let pb = compile ctx builtins_src env b in
+    let p = fresh ctx "diff" in
+    add_rule ctx
+      (Rule.make (Literal.atom p [ x ]) [ Literal.pos pa [ x ]; Literal.neg pb [ x ] ]);
+    p
+  | Expr.Product (a, b) ->
+    let pa = compile ctx builtins_src env a in
+    let pb = compile ctx builtins_src env b in
+    let p = fresh ctx "prod" in
+    add_rule ctx
+      (Rule.make
+         (Literal.atom p [ Dterm.app "pair" [ x; y ] ])
+         [ Literal.pos pa [ x ]; Literal.pos pb [ y ] ]);
+    p
+  | Expr.Select (test, a) ->
+    let pa = compile ctx builtins_src env a in
+    let tst = register_pred ctx builtins_src test in
+    let p = fresh ctx "sel" in
+    add_rule ctx
+      (Rule.make (Literal.atom p [ x ])
+         [
+           Literal.pos pa [ x ];
+           Literal.eq (Dterm.app tst [ x ]) (Dterm.cst Value.tt);
+         ]);
+    p
+  | Expr.Map (f, a) ->
+    let pa = compile ctx builtins_src env a in
+    let ef = register_efun ctx builtins_src f in
+    let p = fresh ctx "map" in
+    add_rule ctx
+      (Rule.make (Literal.atom p [ y ])
+         [ Literal.pos pa [ x ]; Literal.eq y (Dterm.app ef [ x ]) ]);
+    p
+  | Expr.Ifp (var, body) ->
+    ctx.saw_ifp <- true;
+    let p = fresh ctx "ifp" in
+    let pbody = compile ctx builtins_src ((var, p) :: env) body in
+    add_rule ctx (Rule.make (Literal.atom p [ x ]) [ Literal.pos pbody [ x ] ]);
+    p
+  | Expr.Call _ -> invalid_arg "Alg_to_datalog: Call survived inlining"
+
+let db_to_edb db =
+  List.fold_left
+    (fun edb name ->
+      match Db.find db name with
+      | Some set ->
+        List.fold_left (fun edb v -> Edb.add name [ v ] edb) edb (Value.elements set)
+      | None -> edb)
+    Edb.empty (Db.rels db)
+
+let translate defs db expr =
+  let inlined = Defs.inline_all defs in
+  let builtins_src = Defs.builtins inlined in
+  let names = Defs.constant_names inlined in
+  let ctx =
+    {
+      counter = 0;
+      rules = [];
+      builtins = builtins_src;
+      saw_ifp = false;
+      constants = List.map (fun n -> (n, "c_" ^ n)) names;
+    }
+  in
+  (* Defined constants: one predicate each, defined by its compiled body
+     (Proposition 5.4's simulation the other way around: the deductive
+     predicate simulates the recursive equation). *)
+  List.iter
+    (fun name ->
+      let pred = List.assoc name ctx.constants in
+      let body =
+        match Defs.find inlined name with
+        | Some d -> d.Defs.body
+        | None -> assert false
+      in
+      let pbody = compile ctx builtins_src ctx.constants body in
+      add_rule ctx (Rule.make (Literal.atom pred [ x ]) [ Literal.pos pbody [ x ] ]))
+    names;
+  let query_pred =
+    compile ctx builtins_src ctx.constants (Defs.inline defs expr)
+  in
+  {
+    program = Program.make ~builtins:ctx.builtins (List.rev ctx.rules);
+    edb = db_to_edb db;
+    query_pred;
+    constant_preds = ctx.constants;
+    uses_ifp = ctx.saw_ifp;
+  }
+
+let set_of_interp interp pred =
+  let unwrap tuples =
+    Value.set
+      (List.filter_map
+         (fun args ->
+           match args with
+           | [ v ] -> Some v
+           | _ -> None)
+         tuples)
+  in
+  let true_set = unwrap (Interp.true_tuples interp pred) in
+  let undef_set = unwrap (Interp.undef_tuples interp pred) in
+  { Rec_eval.low = true_set; high = Value.union true_set undef_set }

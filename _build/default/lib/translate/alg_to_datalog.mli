@@ -1,0 +1,43 @@
+(** Algebra-to-deduction translation (Section 5).
+
+    The "naive (and quite well-known) algorithm": every subexpression gets
+    a fresh predicate; union becomes two rules, difference becomes
+    negation, product pairs its arguments, selection and [MAP] become
+    interpreted-function literals, and [IFP_exp] becomes recursion through
+    the fixpoint predicate.
+
+    The translated program is {e equivalent} to the source query
+
+    - under the {b valid} semantics when the source uses no [IFP]
+      (Proposition 5.4 — [algebra=] programs, where subtraction and
+      negation are interpreted alike), and
+    - under the {b inflationary} semantics when it does (Proposition 5.1;
+      Example 4 shows valid semantics genuinely differs there). Composing
+      with {!Inflationary_removal} recovers a valid-semantics program
+      (Proposition 5.3).
+
+    Every translated predicate is unary: an algebra set of k-tuples is a
+    set of [Value.Tuple] elements. *)
+
+open Recalg_datalog
+open Recalg_algebra
+
+type t = {
+  program : Program.t;
+  edb : Edb.t;
+  query_pred : string;  (** unary predicate holding the query's value *)
+  constant_preds : (string * string) list;
+      (** defined nullary constant -> its predicate *)
+  uses_ifp : bool;
+      (** when true, equivalence needs inflationary evaluation (or the
+          Proposition 5.2 transformation) *)
+}
+
+val translate : Defs.t -> Db.t -> Expr.t -> t
+
+val db_to_edb : Db.t -> Edb.t
+(** Each named set becomes a unary relation. *)
+
+val set_of_interp : Interp.t -> string -> Rec_eval.vset
+(** Read a unary predicate's three-valued extension back as an algebra
+    set-with-bounds. *)

@@ -1,0 +1,24 @@
+open Recalg_kernel
+open Recalg_datalog
+
+let check ?fuel ?(probes = 2) program edb =
+  let program', edb' = Di_to_safe.make_safe program edb in
+  let base = Run.valid ?fuel program' edb' in
+  let fresh =
+    List.init probes (fun i -> Value.sym (Fmt.str "__di_probe_%d" i))
+  in
+  let enlarged =
+    List.fold_left
+      (fun e v -> Edb.add Di_to_safe.domain_pred [ v ] e)
+      edb' fresh
+  in
+  let wider = Run.valid ?fuel program' enlarged in
+  let idb = Program.idb_preds program in
+  let changed pred =
+    let sort l = List.sort compare l in
+    sort (Interp.true_tuples base pred) <> sort (Interp.true_tuples wider pred)
+    || sort (Interp.undef_tuples base pred) <> sort (Interp.undef_tuples wider pred)
+  in
+  match List.find_opt changed idb with
+  | Some pred -> `Dependent pred
+  | None -> `Apparently_independent

@@ -1,0 +1,18 @@
+(** Operational domain-independence testing (Section 4).
+
+    Domain independence is undecidable, but on a concrete database one
+    can observe dependence: evaluate the query over the active domain
+    and again with fresh elements adjoined to every relation's domain
+    predicate — a d.i. query's answer does not change. This is a sound
+    refuter (a changed answer proves dependence) and a useful heuristic
+    otherwise; the classic dependent example [q(X) :- not r(X)] is
+    caught immediately. *)
+
+open Recalg_datalog
+
+val check :
+  ?fuel:Recalg_kernel.Limits.fuel -> ?probes:int ->
+  Program.t -> Edb.t -> [ `Dependent of string | `Apparently_independent ]
+(** Make the program safe via the domain transformation, evaluate, then
+    re-evaluate with [probes] (default 2) fresh symbolic elements added
+    to the domain; report the first predicate whose answer changed. *)

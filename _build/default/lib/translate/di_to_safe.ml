@@ -1,0 +1,75 @@
+open Recalg_kernel
+open Recalg_datalog
+
+let domain_pred = "dom"
+
+module Vset = Set.Make (Value)
+
+let components v =
+  (* A value and its structural components (tuple fields, constructor
+     arguments) all belong to the domain. *)
+  let rec go acc v =
+    let acc = Vset.add v acc in
+    match v with
+    | Value.Tuple vs | Value.Cstr (_, vs) -> List.fold_left go acc vs
+    | Value.Set vs -> List.fold_left go acc vs
+    | Value.Int _ | Value.Str _ | Value.Bool _ | Value.Sym _ -> acc
+  in
+  go Vset.empty v
+
+let active_domain ?(depth = 1) ?(per_level_cap = 10_000) program edb =
+  let base =
+    List.fold_left
+      (fun acc v -> Vset.union acc (components v))
+      Vset.empty (Program.constants program)
+  in
+  let base =
+    Edb.fold
+      (fun _ tup acc ->
+        List.fold_left (fun acc v -> Vset.union acc (components v)) acc tup)
+      edb base
+  in
+  let fns = Program.function_symbols program in
+  let builtins = program.Program.builtins in
+  let close level =
+    (* One round: apply every function symbol to all argument
+       combinations drawn from the current level. *)
+    let elems = Vset.elements level in
+    List.fold_left
+      (fun acc (f, arity) ->
+        let rec tuples k =
+          if k = 0 then [ [] ]
+          else
+            let rest = tuples (k - 1) in
+            List.concat_map (fun v -> List.map (fun t -> v :: t) rest) elems
+        in
+        if Vset.cardinal acc > per_level_cap then acc
+        else
+          List.fold_left
+            (fun acc args ->
+              if Vset.cardinal acc > per_level_cap then acc
+              else
+                match Builtins.apply builtins f args with
+                | Some v -> Vset.add v acc
+                | None -> acc)
+            acc (tuples arity))
+      level fns
+  in
+  let rec iterate level k = if k = 0 then level else iterate (close level) (k - 1) in
+  Vset.elements (iterate base depth)
+
+let make_safe ?depth program edb =
+  let builtins = program.Program.builtins in
+  let guarded =
+    List.map
+      (fun (r : Rule.t) ->
+        let restricted = Safety.restricted_vars builtins r.Rule.body in
+        let all = Rule.vars r in
+        let missing = List.filter (fun x -> not (List.mem x restricted)) all in
+        let guards = List.map (fun x -> Literal.pos domain_pred [ Dterm.var x ]) missing in
+        Rule.make r.Rule.head (guards @ r.Rule.body))
+      program.Program.rules
+  in
+  let dom = active_domain ?depth program edb in
+  let edb' = List.fold_left (fun e v -> Edb.add domain_pred [ v ] e) edb dom in
+  (Program.make ~builtins:program.Program.builtins guarded, edb')

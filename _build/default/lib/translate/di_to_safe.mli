@@ -1,0 +1,27 @@
+(** Domain-independence to safety (Proposition 4.2).
+
+    Restricting every variable of a domain-independent query to the
+    active domain does not change its result; the transformation
+    therefore adds a unary domain predicate and guards each rule's
+    variables with it. The domain relation enumerates the constants of
+    the program and database closed under the program's function symbols
+    — a finite approximation of the initial model, bounded by [depth]
+    applications (the paper's domain is in general infinite; this is the
+    d.i. "window"). The transformed program is always safe; its
+    equivalence with the source holds when the source is d.i. and the
+    window covers its active computation. *)
+
+open Recalg_datalog
+
+val domain_pred : string
+
+val active_domain :
+  ?depth:int -> ?per_level_cap:int -> Program.t -> Edb.t -> Recalg_kernel.Value.t list
+(** Constants of rules and EDB tuples (including constructor-term
+    components), closed under the program's function symbols up to
+    [depth] rounds (default 1); [per_level_cap] (default 10_000) bounds
+    blow-up. *)
+
+val make_safe : ?depth:int -> Program.t -> Edb.t -> Program.t * Edb.t
+(** Guard every otherwise-unrestricted variable of each rule with the
+    domain predicate, and add the domain relation to the EDB. *)

@@ -1,0 +1,146 @@
+open Recalg_kernel
+open Recalg_datalog
+
+let staged_name r = r ^ "__s"
+let stage_pred = "stage"
+
+let transform ~max_stage program edb =
+  let idb = Program.idb_preds program in
+  let edb_preds =
+    List.filter (fun p -> not (List.mem p idb)) (Edb.preds edb)
+  in
+  let all_preds =
+    idb @ List.filter (fun p -> not (List.mem p idb)) (Program.all_preds program)
+  in
+  let all_preds =
+    all_preds @ List.filter (fun p -> not (List.mem p all_preds)) edb_preds
+  in
+  let var i = Dterm.var (Fmt.str "SV%d" i) in
+  let stage_var = Dterm.var "I" in
+  let next_var = Dterm.var "J" in
+  let arity_of p =
+    (* Arity from any rule or EDB tuple mentioning p. *)
+    let from_rules =
+      List.find_map
+        (fun (r : Rule.t) ->
+          if String.equal (Rule.head_pred r) p then
+            Some (List.length r.Rule.head.Literal.args)
+          else
+            List.find_map
+              (fun l ->
+                match l with
+                | Literal.Pos a | Literal.Neg a
+                  when String.equal a.Literal.pred p ->
+                  Some (List.length a.Literal.args)
+                | Literal.Pos _ | Literal.Neg _ | Literal.Eq _ | Literal.Neq _ ->
+                  None)
+              r.Rule.body)
+        program.Program.rules
+    in
+    match from_rules with
+    | Some n -> n
+    | None -> (
+      match Edb.tuples edb p with
+      | tup :: _ -> List.length tup
+      | [] -> 0)
+  in
+  let step_body =
+    [
+      Literal.pos stage_pred [ stage_var ];
+      Literal.eq next_var (Dterm.app "add" [ stage_var; Dterm.int 1 ]);
+      Literal.pos stage_pred [ next_var ];
+    ]
+  in
+  (* (iii) each rule steps the stage; negative literals read stage I. *)
+  let staged_rules =
+    List.map
+      (fun (r : Rule.t) ->
+        let stage_atom (a : Literal.atom) =
+          Literal.atom (staged_name a.Literal.pred) (stage_var :: a.Literal.args)
+        in
+        let body =
+          step_body
+          @ List.map
+              (fun l ->
+                match l with
+                | Literal.Pos a -> Literal.Pos (stage_atom a)
+                | Literal.Neg a -> Literal.Neg (stage_atom a)
+                | Literal.Eq _ | Literal.Neq _ -> l)
+              r.Rule.body
+        in
+        Rule.make
+          (Literal.atom (staged_name (Rule.head_pred r))
+             (next_var :: r.Rule.head.Literal.args))
+          body)
+      program.Program.rules
+  in
+  (* (ii) EDB facts enter their staged twin at stage 0. *)
+  let seed_rules =
+    List.map
+      (fun p ->
+        let n = arity_of p in
+        let args = List.init n var in
+        Rule.make
+          (Literal.atom (staged_name p) (Dterm.int 0 :: args))
+          [ Literal.pos p args ])
+      edb_preds
+  in
+  (* (iv) copy facts forward (every staged predicate, EDB twins included)
+     and project the stage away (derived predicates only — EDB relations
+     are already present unstaged). *)
+  let copy_rules =
+    List.map
+      (fun p ->
+        let n = arity_of p in
+        let args = List.init n var in
+        Rule.make
+          (Literal.atom (staged_name p) (next_var :: args))
+          (step_body @ [ Literal.pos (staged_name p) (stage_var :: args) ]))
+      all_preds
+  in
+  let project_rules =
+    List.map
+      (fun p ->
+        let n = arity_of p in
+        let args = List.init n var in
+        Rule.make (Literal.atom p args)
+          [ Literal.pos (staged_name p) (stage_var :: args) ])
+      (List.filter (fun p -> List.mem p idb) all_preds)
+  in
+  let frame_rules = copy_rules @ project_rules in
+  let stage_facts =
+    List.init (max_stage + 1) (fun i -> [ Value.int i ])
+  in
+  let program' =
+    Program.make ~builtins:program.Program.builtins
+      (seed_rules @ staged_rules @ frame_rules)
+  in
+  (program', Edb.add_all stage_pred stage_facts edb)
+
+(* Tuples of a staged predicate at one stage. *)
+let stage_tuples interp p k =
+  List.filter_map
+    (fun args ->
+      match args with
+      | Value.Int i :: rest when i = k -> Some rest
+      | _ -> None)
+    (Interp.true_tuples interp (staged_name p))
+
+let saturated interp idb max_stage =
+  List.for_all
+    (fun p ->
+      let last = stage_tuples interp p max_stage in
+      let prev = stage_tuples interp p (max_stage - 1) in
+      List.length last = List.length prev
+      && List.for_all (fun t -> List.exists (List.equal Value.equal t) prev) last)
+    idb
+
+let eval ?fuel ?(initial_bound = 4) program edb =
+  let idb = Program.idb_preds program in
+  let rec attempt bound =
+    let program', edb' = transform ~max_stage:bound program edb in
+    let interp = Run.valid ?fuel program' edb' in
+    if bound >= 1 && saturated interp idb bound then (interp, bound)
+    else attempt (2 * bound)
+  in
+  attempt (max 1 initial_bound)

@@ -1,0 +1,35 @@
+(** The stage-index transformation of Proposition 5.2: from inflationary
+    to valid semantics.
+
+    Every predicate [R] gets a staged twin [R'] with an extra first
+    argument; facts start at stage 0, each rule steps the stage by one
+    with its negative literals reading the {e previous} stage ("was not
+    derived so far"), a copy rule carries facts forward, and a projection
+    rule recovers [R]. Under the valid semantics the staged program
+    computes exactly the inflationary model of the original — stage
+    indices make every negation stratified (each stage depends negatively
+    only on smaller stages).
+
+    The intended model is infinite (facts hold at all later stages), so a
+    concrete run bounds the stage counter by a [stage/1] relation
+    [0 .. max_stage]; {!eval} grows the bound geometrically until the last
+    two stages coincide, which certifies the inflationary fixpoint was
+    reached. *)
+
+open Recalg_kernel
+open Recalg_datalog
+
+val transform : max_stage:int -> Program.t -> Edb.t -> Program.t * Edb.t
+(** The rewritten program plus the [stage] relation. The input EDB is
+    returned unchanged alongside (its facts are injected at stage 0 by
+    generated rules). *)
+
+val staged_name : string -> string
+
+val eval :
+  ?fuel:Limits.fuel -> ?initial_bound:int -> Program.t -> Edb.t -> Interp.t * int
+(** Evaluate the staged program under the {e valid} semantics with a
+    growing stage bound until saturation; returns the projected
+    interpretation (original predicate names) and the bound used.
+    The result equals {!Recalg_datalog.Inflationary.solve} of the input —
+    the executable content of Proposition 5.2. *)

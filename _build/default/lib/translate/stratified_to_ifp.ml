@@ -1,0 +1,102 @@
+open Recalg_kernel
+open Recalg_datalog
+open Recalg_algebra
+
+type t = {
+  defs : Defs.t;
+  db : Db.t;
+  pred_constants : (string * string) list;
+}
+
+let tag_sym pred = Value.sym pred
+
+(* The p-part of a tagged fixpoint set: untag [ [p, args] ] to [ args ]. *)
+let untag pred set_expr =
+  Expr.map (Efun.Proj 2)
+    (Expr.select (Pred.Eq (Efun.Proj 1, Efun.Const (tag_sym pred))) set_expr)
+
+let tag pred rule_expr =
+  Expr.map (Efun.Tuple_of [ Efun.Const (tag_sym pred); Efun.Id ]) rule_expr
+
+let edb_alias p = p ^ "__edb"
+
+let translate program edb =
+  match Safety.check program with
+  | Error violations ->
+    Error
+      (Fmt.str "unsafe program: %a" Fmt.(list ~sep:sp Safety.pp_violation) violations)
+  | Ok () -> (
+    match Stratify.strata program with
+    | Error msg -> Error msg
+    | Ok groups ->
+      let builtins = program.Program.builtins in
+      let idb = Program.idb_preds program in
+      let fix_var = "w" in
+      (* Per-stratum translation: predicates of earlier strata resolve to
+         their finished constants; same-stratum predicates resolve to the
+         untagged part of the fixpoint variable. *)
+      let translate_group group =
+        let preds = List.filter (fun p -> List.mem p idb) group in
+        if preds = [] then []
+        else begin
+          let resolve pred =
+            if List.mem pred preds then untag pred (Expr.rel fix_var)
+            else Expr.rel pred
+          in
+          let step_body =
+            List.concat_map
+              (fun pred ->
+                let with_edb =
+                  if Edb.tuples edb pred <> [] then [ tag pred (Expr.rel (edb_alias pred)) ]
+                  else []
+                in
+                with_edb
+                @ List.map
+                    (fun r ->
+                      tag pred (Datalog_to_alg.compile_rule builtins ~uncertain:[] resolve r))
+                    (Program.rules_for program pred))
+              preds
+          in
+          let body =
+            match step_body with
+            | [] -> Expr.empty
+            | e :: rest -> List.fold_left Expr.union e rest
+          in
+          let group_const = String.concat "_" preds ^ "__fix" in
+          Defs.constant group_const (Expr.ifp fix_var body)
+          :: List.map
+               (fun pred -> Defs.constant pred (untag pred (Expr.rel group_const)))
+               preds
+        end
+      in
+      let defs = List.concat_map translate_group groups in
+      let db =
+        List.fold_left
+          (fun db pred ->
+            let tuples =
+              List.map Datalog_to_alg.tuple_of_args (Edb.tuples edb pred)
+            in
+            if List.mem pred idb then Db.add_elems (edb_alias pred) tuples db
+            else Db.add_elems pred tuples db)
+          Db.empty (Edb.preds edb)
+      in
+      let db =
+        List.fold_left
+          (fun db pred -> if Db.find db pred = None then Db.add_elems pred [] db else db)
+          db (Program.edb_preds program)
+      in
+      Ok
+        {
+          defs = Defs.make ~builtins defs;
+          db;
+          pred_constants = List.map (fun p -> (p, p)) idb;
+        })
+
+let eval_pred ?fuel t pred =
+  let value = Eval.eval ?fuel t.defs t.db (Expr.rel pred) in
+  List.filter_map
+    (fun v ->
+      match v with
+      | Value.Tuple args -> Some args
+      | _ -> None)
+    (Value.elements value)

@@ -1,0 +1,29 @@
+(** The constructive half of Theorem 4.3: stratified safe deduction into
+    the {e positive} IFP-algebra.
+
+    Strata are translated in order; within a stratum the (possibly
+    mutually recursive) predicates are computed by one simultaneous
+    inflationary fixpoint over a tagged union — an element of the
+    fixpoint set is [\[pred_name, args\]] — and each predicate's constant
+    selects and untags its part. Negation only ever reaches predicates of
+    lower strata, already bound to completed constants, so the fixpoint
+    variable occurs positively throughout: the produced program passes
+    {!Recalg_algebra.Positivity.positive_ifp} and evaluates two-valued
+    with the plain {!Recalg_algebra.Eval}. *)
+
+open Recalg_kernel
+open Recalg_datalog
+open Recalg_algebra
+
+type t = {
+  defs : Defs.t;  (** non-recursive definitions, one per derived predicate *)
+  db : Db.t;
+  pred_constants : (string * string) list;
+}
+
+val translate : Program.t -> Edb.t -> (t, string) result
+(** [Error] when the program is unsafe or not stratified. *)
+
+val eval_pred :
+  ?fuel:Limits.fuel -> t -> string -> Value.t list list
+(** Evaluate one translated predicate to its set of argument tuples. *)

@@ -1,0 +1,26 @@
+open Recalg_kernel
+open Recalg_algebra
+
+let witness_name set = set ^ "__witness"
+
+let extend defs ~set ~elem =
+  let name = witness_name set in
+  let body =
+    Expr.Diff (Expr.Select (Pred.eq_const elem, Expr.Rel set), Expr.Rel name)
+  in
+  let defs' = Defs.make ~builtins:(Defs.builtins defs) (Defs.defs defs @ [ Defs.constant name body ]) in
+  (defs', name)
+
+let element_in_set ?fuel ?window defs ~set ~elem db =
+  let defs', name = extend defs ~set ~elem in
+  let sol = Rec_eval.solve ?fuel ?window defs' db in
+  match Rec_eval.member (Rec_eval.constant sol set) elem with
+  | Tvl.Undef -> `Undefined
+  | Tvl.False ->
+    (* a ∉ S: the witness is empty and the model is initial-valid. *)
+    assert (Rec_eval.is_defined (Rec_eval.constant sol name));
+    `Out
+  | Tvl.True ->
+    (* a ∈ S: the witness oscillates, no initial valid model. *)
+    assert (not (Rec_eval.is_defined (Rec_eval.constant sol name)));
+    `In

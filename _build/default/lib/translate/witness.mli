@@ -1,0 +1,23 @@
+(** The undecidability construction of Proposition 3.2.
+
+    Given an [algebra=] program defining a set [S] and an element [a],
+    add a fresh constant defined by [S' = sigma_{EQ(x, a)}(S) - S']: the
+    extended program has an initial valid model iff [a ∉ S]. Executed
+    over a concrete instance, our three-valued evaluator exhibits
+    exactly that: the witness constant is two-valued iff the element is
+    out. *)
+
+open Recalg_kernel
+open Recalg_algebra
+
+val extend : Defs.t -> set:string -> elem:Value.t -> Defs.t * string
+(** The extended program and the fresh witness constant's name. *)
+
+val element_in_set :
+  ?fuel:Limits.fuel -> ?window:Value.t -> Defs.t -> set:string -> elem:Value.t ->
+  Db.t -> [ `In | `Out | `Undefined ]
+(** Decide membership on a concrete (finite) instance by inspecting the
+    witness constant: [`Out] when the extension stayed two-valued
+    (initial valid model exists), [`In] when the witness is undefined
+    because the element is certainly in [S], [`Undefined] when [S]
+    itself is already undefined on the element. *)

@@ -1,0 +1,1 @@
+test/test_alg_parser.ml: Alcotest Algebra Db Defs Expr List Parser Printer QCheck QCheck_alcotest Rec_eval Recalg Result Tgen Tvl Value

@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Algebra Builtins Db Defs Efun Eval Expr Limits List Positivity Pred QCheck QCheck_alcotest Rec_eval Recalg Result Tgen Tvl Value

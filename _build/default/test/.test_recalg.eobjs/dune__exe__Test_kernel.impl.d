@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Bitset Builtins Hashtbl Int Interner Limits List QCheck QCheck_alcotest Recalg String Tgen Tvl Value

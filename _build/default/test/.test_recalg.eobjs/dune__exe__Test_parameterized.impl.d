@@ -1,0 +1,1 @@
+test/test_parameterized.ml: Alcotest Deductive Equation Fun List Parameterized Prelude Recalg Result Signature Spec Term Tvl

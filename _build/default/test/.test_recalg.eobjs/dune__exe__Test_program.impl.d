@@ -1,0 +1,1 @@
+test/test_program.ml: Alcotest Array Datalog Edb Grounder Interp List Parser Program Propgm QCheck QCheck_alcotest Recalg Rule Run Subst Tgen Valid Value

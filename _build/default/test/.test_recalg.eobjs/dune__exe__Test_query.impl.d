@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Datalog Dterm Fmt Interp List Literal Parser Program QCheck QCheck_alcotest Query Recalg Run Tgen Tvl Value

@@ -1,0 +1,1 @@
+test/test_seminaive.ml: Alcotest Datalog Edb Interp List Literal Parser Program QCheck QCheck_alcotest Recalg Result Rule Run Seminaive Stratify Tgen Value

@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Deductive Initial_valid Limits List Prelude QCheck QCheck_alcotest Recalg Result Rewrite Signature Spec Term Tvl

@@ -1,0 +1,1 @@
+test/tgen.ml: Algebra Datalog Fmt List QCheck Recalg String Value

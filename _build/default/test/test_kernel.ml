@@ -1,0 +1,305 @@
+(* Kernel tests: values, three-valued logic, bitsets, interner, limits. *)
+
+open Recalg
+
+let check_value = Alcotest.testable Value.pp Value.equal
+let check_tvl = Alcotest.testable Tvl.pp Tvl.equal
+
+let vset = Value.set
+let vi = Value.int
+
+(* --- Value --- *)
+
+let test_set_canonical () =
+  Alcotest.check check_value "duplicates merged"
+    (vset [ vi 1; vi 2 ])
+    (vset [ vi 2; vi 1; vi 2; vi 1 ]);
+  Alcotest.check check_value "order irrelevant" (vset [ vi 1; vi 2; vi 3 ])
+    (vset [ vi 3; vi 1; vi 2 ])
+
+let test_set_nested () =
+  (* Sets of sets canonicalise deeply: {{1,2}} = {{2,1}}. *)
+  Alcotest.check check_value "nested sets"
+    (vset [ vset [ vi 1; vi 2 ] ])
+    (vset [ vset [ vi 2; vi 1 ] ])
+
+let test_union_inter_diff () =
+  let a = vset [ vi 1; vi 2; vi 3 ]
+  and b = vset [ vi 2; vi 3; vi 4 ] in
+  Alcotest.check check_value "union" (vset [ vi 1; vi 2; vi 3; vi 4 ]) (Value.union a b);
+  Alcotest.check check_value "inter" (vset [ vi 2; vi 3 ]) (Value.inter a b);
+  Alcotest.check check_value "diff" (vset [ vi 1 ]) (Value.diff a b);
+  Alcotest.check check_value "diff other way" (vset [ vi 4 ]) (Value.diff b a)
+
+let test_product () =
+  let a = vset [ vi 1; vi 2 ]
+  and b = vset [ vi 3 ] in
+  Alcotest.check check_value "product"
+    (vset [ Value.pair (vi 1) (vi 3); Value.pair (vi 2) (vi 3) ])
+    (Value.product a b);
+  Alcotest.check check_value "product with empty" Value.empty_set
+    (Value.product a Value.empty_set)
+
+let test_mem_subset () =
+  let a = vset [ vi 1; vi 2 ] in
+  Alcotest.(check bool) "mem yes" true (Value.mem (vi 1) a);
+  Alcotest.(check bool) "mem no" false (Value.mem (vi 5) a);
+  Alcotest.(check bool) "subset yes" true (Value.subset (vset [ vi 1 ]) a);
+  Alcotest.(check bool) "subset no" false (Value.subset (vset [ vi 3 ]) a);
+  Alcotest.(check bool) "empty subset" true (Value.subset Value.empty_set a)
+
+let test_proj () =
+  let t = Value.tuple [ vi 10; vi 20 ] in
+  Alcotest.(check (option (module struct
+    type t = Value.t
+
+    let pp = Value.pp
+    let equal = Value.equal
+  end)))
+    "proj 1" (Some (vi 10)) (Value.proj 1 t);
+  Alcotest.(check bool) "proj out of range" true (Value.proj 3 t = None);
+  Alcotest.(check bool) "proj of non-tuple" true (Value.proj 1 (vi 5) = None)
+
+let test_compare_total_order () =
+  (* compare is a total order consistent with equal. *)
+  let vals =
+    [ vi 0; Value.str "x"; Value.bool true; Value.sym "a";
+      Value.tuple [ vi 1 ]; vset [ vi 1 ]; Value.cstr "f" [ vi 1 ] ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let ab = Value.compare a b
+          and ba = Value.compare b a in
+          Alcotest.(check bool) "antisymmetric" true (compare ab 0 = compare 0 ba))
+        vals)
+    vals
+
+let test_set_type_errors () =
+  Alcotest.check_raises "union of non-set" (Invalid_argument "Value.union: expected a set value")
+    (fun () -> ignore (Value.union (vi 1) Value.empty_set))
+
+(* --- Value properties --- *)
+
+let prop_union_commutative =
+  QCheck.Test.make ~name:"union commutative" ~count:200
+    QCheck.(pair Tgen.small_set_arb Tgen.small_set_arb)
+    (fun (a, b) -> Value.equal (Value.union a b) (Value.union b a))
+
+let prop_union_associative =
+  QCheck.Test.make ~name:"union associative" ~count:200 Tgen.triple_sets_arb
+    (fun (a, b, c) ->
+      Value.equal
+        (Value.union a (Value.union b c))
+        (Value.union (Value.union a b) c))
+
+let prop_diff_inter_demorgan =
+  QCheck.Test.make ~name:"a - (a - b) = a ∩ b (Example 3 intersection)" ~count:200
+    QCheck.(pair Tgen.small_set_arb Tgen.small_set_arb)
+    (fun (a, b) -> Value.equal (Value.diff a (Value.diff a b)) (Value.inter a b))
+
+let prop_diff_empty =
+  QCheck.Test.make ~name:"a - a = {}" ~count:100 Tgen.small_set_arb (fun a ->
+      Value.equal (Value.diff a a) Value.empty_set)
+
+let prop_product_cardinality =
+  QCheck.Test.make ~name:"|a x b| = |a| * |b|" ~count:200
+    QCheck.(pair Tgen.small_set_arb Tgen.small_set_arb)
+    (fun (a, b) ->
+      Value.cardinal (Value.product a b) = Value.cardinal a * Value.cardinal b)
+
+let prop_mem_union =
+  QCheck.Test.make ~name:"mem distributes over union" ~count:200
+    QCheck.(triple Tgen.small_set_arb Tgen.small_set_arb (int_range 0 6))
+    (fun (a, b, n) ->
+      let x = vi n in
+      Value.mem x (Value.union a b) = (Value.mem x a || Value.mem x b))
+
+(* --- Tvl --- *)
+
+let test_kleene_tables () =
+  let open Tvl in
+  Alcotest.check check_tvl "T and U" Undef (and_ True Undef);
+  Alcotest.check check_tvl "F and U" False (and_ False Undef);
+  Alcotest.check check_tvl "T or U" True (or_ True Undef);
+  Alcotest.check check_tvl "F or U" Undef (or_ False Undef);
+  Alcotest.check check_tvl "not U" Undef (not_ Undef);
+  Alcotest.check check_tvl "not T" False (not_ True)
+
+let test_knowledge_order () =
+  let open Tvl in
+  Alcotest.(check bool) "U <= T" true (knowledge_leq Undef True);
+  Alcotest.(check bool) "U <= F" true (knowledge_leq Undef False);
+  Alcotest.(check bool) "T <= F fails" false (knowledge_leq True False);
+  Alcotest.(check bool) "T <= T" true (knowledge_leq True True)
+
+let test_tvl_conversions () =
+  Alcotest.check check_tvl "of_bool true" Tvl.True (Tvl.of_bool true);
+  Alcotest.(check bool) "to_bool_opt undef" true (Tvl.to_bool_opt Tvl.Undef = None);
+  Alcotest.(check bool) "is_defined" false (Tvl.is_defined Tvl.Undef)
+
+let prop_kleene_monotone =
+  (* and_/or_ are monotone in the knowledge order. *)
+  let tvl_gen = QCheck.Gen.oneofl [ Tvl.True; Tvl.False; Tvl.Undef ] in
+  let arb = QCheck.make ~print:Tvl.to_string tvl_gen in
+  QCheck.Test.make ~name:"kleene and_ knowledge-monotone" ~count:200
+    QCheck.(pair arb arb)
+    (fun (a, b) ->
+      (* Undef refined to either classical value never flips a defined result. *)
+      let refinements v =
+        match v with
+        | Tvl.Undef -> [ Tvl.True; Tvl.False ]
+        | other -> [ other ]
+      in
+      List.for_all
+        (fun a' ->
+          List.for_all
+            (fun b' -> Tvl.knowledge_leq (Tvl.and_ a b) (Tvl.and_ a' b'))
+            (refinements b))
+        (refinements a))
+
+(* --- Bitset --- *)
+
+let test_bitset_basics () =
+  let b = Bitset.create 100 in
+  Alcotest.(check bool) "fresh empty" true (Bitset.is_empty b);
+  Bitset.set b 0;
+  Bitset.set b 63;
+  Bitset.set b 99;
+  Alcotest.(check int) "count" 3 (Bitset.count b);
+  Alcotest.(check bool) "get set" true (Bitset.get b 63);
+  Alcotest.(check bool) "get unset" false (Bitset.get b 64);
+  Bitset.clear b 63;
+  Alcotest.(check bool) "cleared" false (Bitset.get b 63);
+  Alcotest.(check (list int)) "to_list" [ 0; 99 ] (Bitset.to_list b)
+
+let test_bitset_union_subset () =
+  let a = Bitset.create 16
+  and b = Bitset.create 16 in
+  Bitset.set a 1;
+  Bitset.set b 1;
+  Bitset.set b 2;
+  Alcotest.(check bool) "subset" true (Bitset.subset a b);
+  Alcotest.(check bool) "not subset" false (Bitset.subset b a);
+  Bitset.union_into ~dst:a b;
+  Alcotest.(check bool) "after union equal" true (Bitset.equal a b)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 8 in
+  Alcotest.check_raises "oob get" (Invalid_argument "Bitset.get: index out of range")
+    (fun () -> ignore (Bitset.get b 8))
+
+(* --- Interner --- *)
+
+let test_interner () =
+  let t = Interner.create ~hash:Hashtbl.hash ~equal:String.equal () in
+  let a = Interner.intern t "alpha" in
+  let b = Interner.intern t "beta" in
+  let a' = Interner.intern t "alpha" in
+  Alcotest.(check int) "stable ids" a a';
+  Alcotest.(check bool) "distinct ids" true (a <> b);
+  Alcotest.(check string) "get back" "beta" (Interner.get t b);
+  Alcotest.(check int) "size" 2 (Interner.size t)
+
+let test_interner_growth () =
+  let t = Interner.create ~hash:Hashtbl.hash ~equal:Int.equal () in
+  for i = 0 to 999 do
+    ignore (Interner.intern t i)
+  done;
+  Alcotest.(check int) "1000 items" 1000 (Interner.size t);
+  Alcotest.(check int) "id round trip" 437 (Interner.get t (Interner.intern t 437))
+
+(* --- Limits --- *)
+
+let test_fuel () =
+  let f = Limits.of_int 3 in
+  Limits.spend f ~what:"t";
+  Limits.spend f ~what:"t";
+  Limits.spend f ~what:"t";
+  Alcotest.check_raises "exhausted" (Limits.Diverged "t: fuel exhausted") (fun () ->
+      Limits.spend f ~what:"t")
+
+let test_fuel_unlimited () =
+  for _ = 1 to 1000 do
+    Limits.spend Limits.unlimited ~what:"t"
+  done;
+  Alcotest.(check bool) "no remaining count" true
+    (Limits.remaining Limits.unlimited = None)
+
+(* --- Builtins --- *)
+
+let test_builtins_arith () =
+  let b = Builtins.default in
+  Alcotest.(check bool) "add" true
+    (Builtins.apply b "add" [ vi 2; vi 3 ] = Some (vi 5));
+  Alcotest.(check bool) "sub" true
+    (Builtins.apply b "sub" [ vi 2; vi 3 ] = Some (vi (-1)));
+  Alcotest.(check bool) "mul" true
+    (Builtins.apply b "mul" [ vi 2; vi 3 ] = Some (vi 6));
+  Alcotest.(check bool) "add on non-int undefined" true
+    (Builtins.apply b "add" [ Value.sym "a"; vi 1 ] = None)
+
+let test_builtins_constructor_fallback () =
+  let b = Builtins.default in
+  Alcotest.(check bool) "unregistered builds Cstr" true
+    (Builtins.apply b "succ" [ vi 0 ] = Some (Value.cstr "succ" [ vi 0 ]));
+  Alcotest.(check bool) "is_interpreted" false (Builtins.is_interpreted b "succ");
+  Alcotest.(check bool) "is_interpreted add" true (Builtins.is_interpreted b "add")
+
+let test_builtins_structural () =
+  let b = Builtins.default in
+  Alcotest.(check bool) "pair/fst" true
+    (Builtins.apply b "fst" [ Value.pair (vi 1) (vi 2) ] = Some (vi 1));
+  Alcotest.(check bool) "eq_val" true
+    (Builtins.apply b "eq_val" [ vi 1; vi 1 ] = Some Value.tt);
+  Alcotest.(check bool) "lt" true (Builtins.apply b "lt" [ vi 1; vi 2 ] = Some Value.tt)
+
+
+let test_builtins_sets () =
+  let b = Builtins.default in
+  let s = Value.set [ vi 1; vi 2 ] in
+  Alcotest.(check bool) "set_add" true
+    (Builtins.apply b "set_add" [ vi 3; s ] = Some (Value.set [ vi 1; vi 2; vi 3 ]));
+  Alcotest.(check bool) "set_mem yes" true
+    (Builtins.apply b "set_mem" [ vi 1; s ] = Some Value.tt);
+  Alcotest.(check bool) "set_union" true
+    (Builtins.apply b "set_union" [ s; Value.set [ vi 5 ] ]
+    = Some (Value.set [ vi 1; vi 2; vi 5 ]));
+  Alcotest.(check bool) "set_card" true
+    (Builtins.apply b "set_card" [ s ] = Some (vi 2));
+  Alcotest.(check bool) "set_add on non-set undefined" true
+    (Builtins.apply b "set_add" [ vi 1; vi 2 ] = None)
+
+let suite =
+  [
+    Alcotest.test_case "set canonical" `Quick test_set_canonical;
+    Alcotest.test_case "set nested" `Quick test_set_nested;
+    Alcotest.test_case "union/inter/diff" `Quick test_union_inter_diff;
+    Alcotest.test_case "product" `Quick test_product;
+    Alcotest.test_case "mem/subset" `Quick test_mem_subset;
+    Alcotest.test_case "proj" `Quick test_proj;
+    Alcotest.test_case "compare total order" `Quick test_compare_total_order;
+    Alcotest.test_case "set type errors" `Quick test_set_type_errors;
+    Alcotest.test_case "kleene tables" `Quick test_kleene_tables;
+    Alcotest.test_case "knowledge order" `Quick test_knowledge_order;
+    Alcotest.test_case "tvl conversions" `Quick test_tvl_conversions;
+    Alcotest.test_case "bitset basics" `Quick test_bitset_basics;
+    Alcotest.test_case "bitset union/subset" `Quick test_bitset_union_subset;
+    Alcotest.test_case "bitset bounds" `Quick test_bitset_bounds;
+    Alcotest.test_case "interner" `Quick test_interner;
+    Alcotest.test_case "interner growth" `Quick test_interner_growth;
+    Alcotest.test_case "fuel" `Quick test_fuel;
+    Alcotest.test_case "fuel unlimited" `Quick test_fuel_unlimited;
+    Alcotest.test_case "builtins arith" `Quick test_builtins_arith;
+    Alcotest.test_case "builtins constructor" `Quick test_builtins_constructor_fallback;
+    Alcotest.test_case "builtins structural" `Quick test_builtins_structural;
+    Alcotest.test_case "builtins sets" `Quick test_builtins_sets;
+    QCheck_alcotest.to_alcotest prop_union_commutative;
+    QCheck_alcotest.to_alcotest prop_union_associative;
+    QCheck_alcotest.to_alcotest prop_diff_inter_demorgan;
+    QCheck_alcotest.to_alcotest prop_diff_empty;
+    QCheck_alcotest.to_alcotest prop_product_cardinality;
+    QCheck_alcotest.to_alcotest prop_mem_union;
+    QCheck_alcotest.to_alcotest prop_kleene_monotone;
+  ]

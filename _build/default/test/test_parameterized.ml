@@ -1,0 +1,135 @@
+(* Parameterised specification tests: SET(data) instantiated at nat and
+   bool, following Section 2.1's "replacing nat with a type variable
+   data". *)
+
+open Recalg
+open Spec
+
+let check_tvl = Alcotest.testable Tvl.pp Tvl.equal
+
+let set_nat_instance =
+  (* Instantiate SET(data) at data = nat without renaming: this must be
+     exactly the paper's SET(nat). *)
+  Parameterized.instantiate
+    (Parameterized.set_of ~elem:"nat" ~eq:"EQ")
+    ~actual:"nat" ~actual_spec:Prelude.nat_spec ~rename:Fun.id ()
+
+let test_instance_well_sorted () =
+  Alcotest.(check bool) "checks" true (Result.is_ok (Spec.check set_nat_instance))
+
+let test_instance_matches_prelude () =
+  (* Same operator inventory as the hand-written SET(nat). *)
+  let ops spec =
+    List.sort compare
+      (List.map (fun (o : Signature.op) -> o.Signature.name)
+         (Signature.ops (Spec.signature spec)))
+  in
+  Alcotest.(check (list string)) "same ops" (ops Prelude.set_nat_spec)
+    (ops set_nat_instance)
+
+let test_instance_mem_works () =
+  (* The instantiated spec evaluates MEM just like the hand-written one
+     (via the deductive version and the valid interpretation). *)
+  let solved = Deductive.solve (Deductive.build ~max_size:7 ~cap:80 set_nat_instance) in
+  let s = Prelude.set_of_ints [ 1 ] in
+  Alcotest.check check_tvl "MEM(1, {1}) = T" Tvl.True
+    (Deductive.eq_holds solved (Prelude.mem (Prelude.nat_of_int 1) s) Prelude.tt);
+  Alcotest.check check_tvl "MEM(0, {1}) = F" Tvl.True
+    (Deductive.eq_holds solved (Prelude.mem (Prelude.nat_of_int 0) s) Prelude.ff)
+
+let test_two_instances_coexist () =
+  (* SET(nat) and SET(bool) with default renaming: distinct sorts and
+     operations in one combined specification. *)
+  let bool_with_eq =
+    let sg =
+      Signature.union
+        (Spec.signature Prelude.bool_spec)
+        (Signature.make ~sorts:[ "bool" ]
+           ~ops:[ Signature.op "beq" [ "bool"; "bool" ] "bool" ])
+    in
+    let x = Term.var "x" "bool" in
+    Spec.import
+      (Spec.make sg
+         [
+           Equation.equation (Term.op "beq" [ x; x ]) (Term.const "T");
+           Equation.equation
+             (Term.op "beq" [ Term.const "T"; Term.const "F" ])
+             (Term.const "F");
+           Equation.equation
+             (Term.op "beq" [ Term.const "F"; Term.const "T" ])
+             (Term.const "F");
+         ])
+      Prelude.bool_spec
+  in
+  let set_nat =
+    Parameterized.instantiate
+      (Parameterized.set_of ~elem:"nat" ~eq:"EQ")
+      ~actual:"nat" ~actual_spec:Prelude.nat_spec ()
+  in
+  let set_bool =
+    Parameterized.instantiate
+      (Parameterized.set_of ~elem:"bool" ~eq:"beq")
+      ~actual:"bool" ~actual_spec:bool_with_eq ()
+  in
+  let combined = Spec.import set_nat set_bool in
+  Alcotest.(check bool) "well sorted" true (Result.is_ok (Spec.check combined));
+  let sg = Spec.signature combined in
+  Alcotest.(check bool) "set_nat sort" true (Signature.has_sort sg "set_nat");
+  Alcotest.(check bool) "set_bool sort" true (Signature.has_sort sg "set_bool");
+  Alcotest.(check bool) "INS_nat" true (Signature.find_op sg "INS_nat" <> None);
+  Alcotest.(check bool) "INS_bool" true (Signature.find_op sg "INS_bool" <> None)
+
+let test_formal_must_be_declared () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Parameterized.make ~formal:"ghost" Prelude.bool_spec);
+       false
+     with Invalid_argument _ -> true)
+
+let test_set_bool_membership () =
+  let bool_with_eq =
+    let sg =
+      Signature.union
+        (Spec.signature Prelude.bool_spec)
+        (Signature.make ~sorts:[ "bool" ]
+           ~ops:[ Signature.op "beq" [ "bool"; "bool" ] "bool" ])
+    in
+    let x = Term.var "x" "bool" in
+    Spec.import
+      (Spec.make sg
+         [
+           Equation.equation (Term.op "beq" [ x; x ]) (Term.const "T");
+           Equation.equation
+             (Term.op "beq" [ Term.const "T"; Term.const "F" ])
+             (Term.const "F");
+           Equation.equation
+             (Term.op "beq" [ Term.const "F"; Term.const "T" ])
+             (Term.const "F");
+         ])
+      Prelude.bool_spec
+  in
+  let set_bool =
+    Parameterized.instantiate
+      (Parameterized.set_of ~elem:"bool" ~eq:"beq")
+      ~actual:"bool" ~actual_spec:bool_with_eq ()
+  in
+  let solved = Deductive.solve (Deductive.build ~max_size:6 ~cap:60 set_bool) in
+  let singleton_t = Term.op "INS_bool" [ Term.const "T"; Term.const "EMPTY_bool" ] in
+  Alcotest.check check_tvl "MEM(T, {T}) = T" Tvl.True
+    (Deductive.eq_holds solved
+       (Term.op "MEM_bool" [ Term.const "T"; singleton_t ])
+       (Term.const "T"));
+  Alcotest.check check_tvl "MEM(F, {T}) = F" Tvl.True
+    (Deductive.eq_holds solved
+       (Term.op "MEM_bool" [ Term.const "F"; singleton_t ])
+       (Term.const "F"))
+
+let suite =
+  [
+    Alcotest.test_case "instance well sorted" `Quick test_instance_well_sorted;
+    Alcotest.test_case "instance = hand-written SET(nat)" `Quick test_instance_matches_prelude;
+    Alcotest.test_case "instance MEM works" `Quick test_instance_mem_works;
+    Alcotest.test_case "two instances coexist" `Quick test_two_instances_coexist;
+    Alcotest.test_case "formal must be declared" `Quick test_formal_must_be_declared;
+    Alcotest.test_case "SET(bool) membership" `Quick test_set_bool_membership;
+  ]

@@ -1,0 +1,126 @@
+(* Query interface tests: the paper's "R(x)?" query form. *)
+
+open Recalg
+open Datalog
+
+let check_tvl = Alcotest.testable Tvl.pp Tvl.equal
+let vs = Value.sym
+let vi = Value.int
+
+let game =
+  Parser.parse_exn
+    "move(a,b). move(b,c). move(d,d). win(X) :- move(X,Y), not win(Y)."
+
+let test_ask_open () =
+  let program, edb = game in
+  let answers = Query.ask program edb (Literal.atom "win" [ Dterm.var "X" ]) in
+  let winners =
+    List.filter_map
+      (fun a -> if a.Query.status = Tvl.True then Some a.Query.tuple else None)
+      answers
+  in
+  let undecided =
+    List.filter_map
+      (fun a -> if a.Query.status = Tvl.Undef then Some a.Query.tuple else None)
+      answers
+  in
+  Alcotest.(check bool) "b wins" true (List.mem [ vs "b" ] winners);
+  Alcotest.(check int) "one winner" 1 (List.length winners);
+  Alcotest.(check bool) "d undecided" true (List.mem [ vs "d" ] undecided)
+
+let test_ask_bindings () =
+  let program, edb = game in
+  let answers = Query.ask program edb (Literal.atom "move" [ Dterm.var "From"; Dterm.var "To" ]) in
+  Alcotest.(check int) "three moves" 3 (List.length answers);
+  List.iter
+    (fun a ->
+      Alcotest.(check int) "two bindings" 2 (List.length a.Query.bindings);
+      Alcotest.(check bool) "From bound" true
+        (List.mem_assoc "From" a.Query.bindings))
+    answers
+
+let test_ask_partially_ground () =
+  let program, edb = game in
+  let answers = Query.ask program edb (Literal.atom "move" [ Dterm.sym "a"; Dterm.var "To" ]) in
+  Alcotest.(check int) "one answer" 1 (List.length answers);
+  match answers with
+  | [ a ] ->
+    Alcotest.(check bool) "To = b" true (List.assoc_opt "To" a.Query.bindings = Some (vs "b"))
+  | _ -> Alcotest.fail "expected a single answer"
+
+let test_ask_repeated_var () =
+  (* move(X, X)? only matches the self-loop. *)
+  let program, edb = game in
+  let answers = Query.ask program edb (Literal.atom "move" [ Dterm.var "X"; Dterm.var "X" ]) in
+  Alcotest.(check int) "one self-loop" 1 (List.length answers);
+  match answers with
+  | [ a ] -> Alcotest.(check bool) "it is d" true (a.Query.tuple = [ vs "d"; vs "d" ])
+  | _ -> Alcotest.fail "expected one answer"
+
+let test_holds_ground () =
+  let program, edb = game in
+  Alcotest.check check_tvl "win(b)" Tvl.True
+    (Query.holds program edb (Literal.atom "win" [ Dterm.sym "b" ]));
+  Alcotest.check check_tvl "win(d)" Tvl.Undef
+    (Query.holds program edb (Literal.atom "win" [ Dterm.sym "d" ]));
+  Alcotest.check check_tvl "win(nope)" Tvl.False
+    (Query.holds program edb (Literal.atom "win" [ Dterm.sym "nope" ]))
+
+let test_holds_rejects_open () =
+  let program, edb = game in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Query.holds program edb (Literal.atom "win" [ Dterm.var "X" ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_ask_with_constructor_pattern () =
+  let program, edb = Parser.parse_exn "num(s(zero)). num(s(s(zero))). p(X) :- num(X)." in
+  let goal = Literal.atom "p" [ Dterm.app "s" [ Dterm.var "N" ] ] in
+  let answers = Query.ask program edb goal in
+  Alcotest.(check int) "both match" 2 (List.length answers);
+  Alcotest.(check bool) "binds N" true
+    (List.exists
+       (fun a -> List.assoc_opt "N" a.Query.bindings = Some (Value.cstr "s" [ Value.sym "zero" ]))
+       answers)
+
+let test_ask_interpreted_value () =
+  let program, edb = Parser.parse_exn "d(1). d(2). sq(Y) :- d(X), Y = mul(X, X)." in
+  let answers = Query.ask program edb (Literal.atom "sq" [ Dterm.var "Y" ]) in
+  Alcotest.(check bool) "4 present" true
+    (List.exists (fun a -> a.Query.tuple = [ vi 4 ]) answers)
+
+let suite =
+  [
+    Alcotest.test_case "ask open goal" `Quick test_ask_open;
+    Alcotest.test_case "ask bindings" `Quick test_ask_bindings;
+    Alcotest.test_case "ask partially ground" `Quick test_ask_partially_ground;
+    Alcotest.test_case "ask repeated variable" `Quick test_ask_repeated_var;
+    Alcotest.test_case "holds ground" `Quick test_holds_ground;
+    Alcotest.test_case "holds rejects open goal" `Quick test_holds_rejects_open;
+    Alcotest.test_case "constructor pattern" `Quick test_ask_with_constructor_pattern;
+    Alcotest.test_case "interpreted value" `Quick test_ask_interpreted_value;
+  ]
+
+let prop_ask_consistent_with_interp =
+  (* Every answer reported by ask matches the interpretation's verdict,
+     and every true/undef fact with the goal's shape is reported. *)
+  QCheck.Test.make ~name:"ask consistent with the valid interpretation" ~count:60
+    Tgen.rand_instance_arb (fun (program, edges) ->
+      let edb = Tgen.e_edb edges in
+      let interp = Run.valid program edb in
+      List.for_all
+        (fun (pred, arity) ->
+          let goal =
+            Literal.atom pred (List.init arity (fun i -> Dterm.var (Fmt.str "V%d" i)))
+          in
+          let answers = Query.ask_interp interp program.Program.builtins goal in
+          List.for_all
+            (fun a -> Interp.holds interp pred a.Query.tuple = a.Query.status)
+            answers
+          && List.length answers
+             = List.length (Interp.true_tuples interp pred)
+               + List.length (Interp.undef_tuples interp pred))
+        [ ("p", 1); ("q", 1); ("r", 2) ])
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest prop_ask_consistent_with_interp ]

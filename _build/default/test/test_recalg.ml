@@ -1,0 +1,16 @@
+(* Test runner: one alcotest section per subsystem. *)
+
+let () =
+  Alcotest.run "recalg"
+    [
+      ("kernel", Test_kernel.suite);
+      ("datalog", Test_datalog.suite);
+      ("program", Test_program.suite);
+      ("query", Test_query.suite);
+      ("seminaive", Test_seminaive.suite);
+      ("algebra", Test_algebra.suite);
+      ("translate", Test_translate.suite);
+      ("alg-parser", Test_alg_parser.suite);
+      ("spec", Test_spec.suite);
+      ("parameterized", Test_parameterized.suite);
+    ]

@@ -1,0 +1,232 @@
+(* Specification layer tests: Section 2 end to end — signatures, terms,
+   equations, the deductive version with its valid interpretation,
+   Example 2, the Prop 2.3(2) decision procedure, and rewriting. *)
+
+open Recalg
+open Spec
+
+let check_tvl = Alcotest.testable Tvl.pp Tvl.equal
+
+(* --- signatures and terms --- *)
+
+let test_signature_checks () =
+  Alcotest.(check bool) "undeclared sort rejected" true
+    (try
+       ignore (Signature.make ~sorts:[ "a" ] ~ops:[ Signature.op "f" [ "b" ] "a" ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "duplicate op rejected" true
+    (try
+       ignore
+         (Signature.make ~sorts:[ "a" ]
+            ~ops:[ Signature.constant "c" "a"; Signature.constant "c" "a" ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sort_inference () =
+  let sg = Spec.signature Prelude.nat_spec in
+  Alcotest.(check bool) "nat" true
+    (Term.sort_of sg (Prelude.nat_of_int 3) = Ok "nat");
+  Alcotest.(check bool) "EQ result" true
+    (Term.sort_of sg (Term.op "EQ" [ Prelude.nat_of_int 1; Prelude.nat_of_int 2 ])
+    = Ok "bool");
+  Alcotest.(check bool) "arity error" true
+    (Result.is_error (Term.sort_of sg (Term.op "EQ" [ Prelude.nat_of_int 1 ])));
+  Alcotest.(check bool) "sort error" true
+    (Result.is_error (Term.sort_of sg (Term.op "SUCC" [ Prelude.tt ])))
+
+let test_term_value_roundtrip () =
+  let t = Prelude.set_of_ints [ 1; 2 ] in
+  Alcotest.(check bool) "roundtrip" true (Term.of_value (Term.to_value t) = Some t)
+
+let test_spec_check () =
+  Alcotest.(check bool) "set spec well sorted" true
+    (Result.is_ok (Spec.check Prelude.set_nat_spec));
+  Alcotest.(check bool) "negation flagged" true
+    (Spec.uses_negation Prelude.set_nat_with_default);
+  Alcotest.(check bool) "no negation in plain set" false
+    (Spec.uses_negation Prelude.set_nat_spec)
+
+let test_ground_terms_window () =
+  let terms = Spec.ground_terms ~max_size:3 ~cap:50 Prelude.nat_spec "nat" in
+  Alcotest.(check bool) "contains 0" true
+    (List.exists (Term.equal (Prelude.nat_of_int 0)) terms);
+  Alcotest.(check bool) "contains 2" true
+    (List.exists (Term.equal (Prelude.nat_of_int 2)) terms);
+  Alcotest.(check bool) "respects size" true
+    (List.for_all (fun t -> Term.size t <= 3) terms)
+
+(* --- deductive version / valid interpretation --- *)
+
+let test_nat_eq_decided () =
+  let solved = Deductive.solve (Deductive.build ~max_size:7 ~cap:80 Prelude.nat_spec) in
+  Alcotest.check check_tvl "EQ(1,1) = T" Tvl.True
+    (Deductive.eq_holds solved
+       (Term.op "EQ" [ Prelude.nat_of_int 1; Prelude.nat_of_int 1 ])
+       Prelude.tt);
+  Alcotest.check check_tvl "EQ(1,2) = F" Tvl.True
+    (Deductive.eq_holds solved
+       (Term.op "EQ" [ Prelude.nat_of_int 1; Prelude.nat_of_int 2 ])
+       Prelude.ff);
+  (* Distinct numerals are not identified. *)
+  Alcotest.check check_tvl "1 /= 2 in the model" Tvl.False
+    (Deductive.eq_holds solved (Prelude.nat_of_int 1) (Prelude.nat_of_int 2))
+
+let test_set_ins_idempotent_commutative () =
+  let solved = Deductive.solve (Deductive.build ~max_size:7 ~cap:80 Prelude.set_nat_spec) in
+  let ins n s = Term.op "INS" [ Prelude.nat_of_int n; s ] in
+  let empty = Term.const "EMPTY" in
+  Alcotest.check check_tvl "idempotent" Tvl.True
+    (Deductive.eq_holds solved (ins 0 (ins 0 empty)) (ins 0 empty));
+  Alcotest.check check_tvl "commutative" Tvl.True
+    (Deductive.eq_holds solved (ins 0 (ins 1 empty)) (ins 1 (ins 0 empty)))
+
+let test_even_default_rule () =
+  (* Section 2.2: the disequation premise produces the negative facts. *)
+  let solved = Deductive.solve (Deductive.build ~max_size:6 ~cap:60 Prelude.even_spec) in
+  Alcotest.check check_tvl "even(2) = T" Tvl.True
+    (Deductive.eq_holds solved (Prelude.even (Prelude.nat_of_int 2)) Prelude.tt);
+  Alcotest.check check_tvl "even(3) = F" Tvl.True
+    (Deductive.eq_holds solved (Prelude.even (Prelude.nat_of_int 3)) Prelude.ff);
+  Alcotest.check check_tvl "even(3) = T is false" Tvl.False
+    (Deductive.eq_holds solved (Prelude.even (Prelude.nat_of_int 3)) Prelude.tt)
+
+let test_classes_partition () =
+  let solved = Deductive.solve (Deductive.build ~max_size:7 ~cap:80 Prelude.nat_spec) in
+  let classes = Deductive.classes solved "nat" in
+  (* Numerals are pairwise distinct: each class is a singleton. *)
+  Alcotest.(check bool) "all singletons" true
+    (List.for_all (fun c -> List.length c = 1) classes)
+
+(* --- Example 2 and Prop 2.3(2) --- *)
+
+let test_example2_no_initial () =
+  match Initial_valid.decide Prelude.example2_spec with
+  | Ok (Initial_valid.No_initial _) -> ()
+  | Ok (Initial_valid.Initial _) -> Alcotest.fail "Example 2 must have no initial model"
+  | Error e -> Alcotest.fail e
+
+let test_fixed_has_initial () =
+  match Initial_valid.decide Prelude.example2_fixed_spec with
+  | Ok (Initial_valid.Initial partition) ->
+    Alcotest.(check int) "two classes" 2 (List.length partition);
+    let block_of t =
+      List.find_opt (fun b -> List.exists (Term.equal t) b) partition
+    in
+    Alcotest.(check bool) "a ~ b" true
+      (block_of (Term.const "a") = block_of (Term.const "b"))
+  | Ok (Initial_valid.No_initial why) -> Alcotest.fail why
+  | Error e -> Alcotest.fail e
+
+let test_trivial_spec_initial () =
+  (* No equations: the initial model is the finest partition. *)
+  let spec =
+    Spec.make
+      (Signature.make ~sorts:[ "s" ]
+         ~ops:[ Signature.constant "a" "s"; Signature.constant "b" "s" ])
+      []
+  in
+  match Initial_valid.decide spec with
+  | Ok (Initial_valid.Initial partition) ->
+    Alcotest.(check int) "discrete" 2 (List.length partition)
+  | Ok (Initial_valid.No_initial why) -> Alcotest.fail why
+  | Error e -> Alcotest.fail e
+
+let test_decide_rejects_functions () =
+  Alcotest.(check bool) "undecidable case rejected" true
+    (Result.is_error (Initial_valid.decide Prelude.nat_spec));
+  Alcotest.(check bool) "classifier" false
+    (Initial_valid.is_constants_only Prelude.nat_spec)
+
+let test_example2_valid_interp_undefined () =
+  (* In the valid interpretation of Example 2 nothing is derivable: both
+     conditional equations rely on a disequation that is never certain. *)
+  let solved = Deductive.solve (Deductive.build Prelude.example2_spec) in
+  Alcotest.(check bool) "a=b not certainly true" true
+    (Deductive.eq_holds solved (Term.const "a") (Term.const "b") <> Tvl.True);
+  Alcotest.(check bool) "a=c not certainly true" true
+    (Deductive.eq_holds solved (Term.const "a") (Term.const "c") <> Tvl.True)
+
+(* --- rewriting --- *)
+
+let test_rewrite_mem () =
+  let spec = Prelude.set_nat_rewrite_spec in
+  let s = Prelude.set_of_ints [ 1; 3 ] in
+  Alcotest.check check_tvl "MEM(3, {1,3})" Tvl.True
+    (Rewrite.eval_bool spec (Prelude.mem (Prelude.nat_of_int 3) s));
+  Alcotest.check check_tvl "MEM(2, {1,3})" Tvl.False
+    (Rewrite.eval_bool spec (Prelude.mem (Prelude.nat_of_int 2) s));
+  Alcotest.check check_tvl "MEM(0, {})" Tvl.False
+    (Rewrite.eval_bool spec (Prelude.mem (Prelude.nat_of_int 0) (Term.const "EMPTY")))
+
+let test_rewrite_eq_nat () =
+  let spec = Prelude.nat_spec in
+  Alcotest.check check_tvl "EQ(2,2)" Tvl.True
+    (Rewrite.eval_bool spec
+       (Term.op "EQ" [ Prelude.nat_of_int 2; Prelude.nat_of_int 2 ]));
+  Alcotest.check check_tvl "EQ(2,3)" Tvl.False
+    (Rewrite.eval_bool spec
+       (Term.op "EQ" [ Prelude.nat_of_int 2; Prelude.nat_of_int 3 ]))
+
+let test_rewrite_normal_form () =
+  let spec = Prelude.set_nat_rewrite_spec in
+  let nf = Rewrite.normalize spec (Term.op "INS" [ Prelude.nat_of_int 0;
+                                                   Prelude.set_of_ints [ 0 ] ]) in
+  Alcotest.(check bool) "idempotence applied" true
+    (Term.equal nf (Prelude.set_of_ints [ 0 ]))
+
+let test_rewrite_match () =
+  let pattern = Term.op "INS" [ Term.var "d" "nat"; Term.var "s" "set" ] in
+  match Rewrite.match_term pattern (Prelude.set_of_ints [ 5 ]) with
+  | Some subst ->
+    Alcotest.(check bool) "d bound" true
+      (List.assoc_opt "d" subst = Some (Prelude.nat_of_int 5))
+  | None -> Alcotest.fail "expected match"
+
+let test_rewrite_divergence_guard () =
+  (* Commutativity loops; the fuel turns that into Diverged. *)
+  let spec = Prelude.set_nat_spec in
+  Alcotest.(check bool) "commutative system diverges" true
+    (try
+       ignore
+         (Rewrite.normalize ~fuel:(Limits.of_int 500) spec (Prelude.set_of_ints [ 1; 2 ]));
+       false
+     with Limits.Diverged _ -> true)
+
+(* --- agreement between rewriting and the valid interpretation --- *)
+
+let prop_rewrite_agrees_with_deduction =
+  QCheck.Test.make ~name:"rewriting MEM agrees with valid interpretation" ~count:20
+    QCheck.(pair (int_range 0 2) (list_of_size (QCheck.Gen.int_range 0 2) (int_range 0 2)))
+    (fun (x, elems) ->
+      let s = Prelude.set_of_ints elems in
+      let by_rewrite =
+        Rewrite.eval_bool Prelude.set_nat_rewrite_spec
+          (Prelude.mem (Prelude.nat_of_int x) s)
+      in
+      let expected = Tvl.of_bool (List.mem x elems) in
+      Tvl.equal by_rewrite expected)
+
+let suite =
+  [
+    Alcotest.test_case "signature checks" `Quick test_signature_checks;
+    Alcotest.test_case "sort inference" `Quick test_sort_inference;
+    Alcotest.test_case "term/value roundtrip" `Quick test_term_value_roundtrip;
+    Alcotest.test_case "spec check" `Quick test_spec_check;
+    Alcotest.test_case "ground-term window" `Quick test_ground_terms_window;
+    Alcotest.test_case "nat EQ decided" `Quick test_nat_eq_decided;
+    Alcotest.test_case "INS idempotent/commutative" `Quick test_set_ins_idempotent_commutative;
+    Alcotest.test_case "even default rule" `Quick test_even_default_rule;
+    Alcotest.test_case "classes partition" `Quick test_classes_partition;
+    Alcotest.test_case "Example 2: no initial model" `Quick test_example2_no_initial;
+    Alcotest.test_case "fixed spec has initial model" `Quick test_fixed_has_initial;
+    Alcotest.test_case "trivial spec initial" `Quick test_trivial_spec_initial;
+    Alcotest.test_case "decide rejects functions" `Quick test_decide_rejects_functions;
+    Alcotest.test_case "Example 2 valid interp" `Quick test_example2_valid_interp_undefined;
+    Alcotest.test_case "rewrite MEM" `Quick test_rewrite_mem;
+    Alcotest.test_case "rewrite EQ" `Quick test_rewrite_eq_nat;
+    Alcotest.test_case "rewrite normal form" `Quick test_rewrite_normal_form;
+    Alcotest.test_case "rewrite match" `Quick test_rewrite_match;
+    Alcotest.test_case "rewrite divergence guard" `Quick test_rewrite_divergence_guard;
+    QCheck_alcotest.to_alcotest prop_rewrite_agrees_with_deduction;
+  ]

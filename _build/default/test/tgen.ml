@@ -1,0 +1,172 @@
+(* Shared QCheck generators: random graphs, random safe programs, random
+   algebra expressions — the instance families the equivalence theorems
+   are exercised on. *)
+
+open Recalg
+
+let node_names = [ "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h" ]
+
+(* A random directed graph over up to [n] named nodes, as an edge list. *)
+let graph_gen ?(max_nodes = 6) ?(max_edges = 10) () =
+  QCheck.Gen.(
+    let* n = int_range 1 max_nodes in
+    let nodes = List.filteri (fun i _ -> i < n) node_names in
+    let* m = int_range 0 max_edges in
+    let edge = pair (oneofl nodes) (oneofl nodes) in
+    let* edges = list_size (return m) edge in
+    return (List.sort_uniq compare edges))
+
+let graph_arb = QCheck.make ~print:(fun edges ->
+    String.concat " " (List.map (fun (a, b) -> a ^ "->" ^ b) edges))
+    (graph_gen ())
+
+let move_edb edges =
+  List.fold_left
+    (fun edb (a, b) -> Datalog.Edb.add "move" [ Value.sym a; Value.sym b ] edb)
+    Datalog.Edb.empty edges
+
+let edge_edb edges =
+  List.fold_left
+    (fun edb (a, b) -> Datalog.Edb.add "edge" [ Value.sym a; Value.sym b ] edb)
+    Datalog.Edb.empty edges
+
+(* Random safe (range-restricted by construction) programs over a fixed
+   EDB relation e/2 and IDB predicates p, q, r (all unary or binary).
+   Bodies start with a positive e-atom binding the variables; extra
+   literals may negate IDB predicates — non-stratified programs arise
+   freely. *)
+type rand_rule = {
+  head : string * int;  (* predicate, arity (1 or 2) *)
+  first : [ `Fwd | `Bwd ];  (* e(X,Y) or e(Y,X) *)
+  extra : (bool * string * int) list;  (* positive?, predicate, arity *)
+}
+
+let idb_preds = [ ("p", 1); ("q", 1); ("r", 2) ]
+
+let rand_rule_gen =
+  QCheck.Gen.(
+    let* head = oneofl idb_preds in
+    let* first = oneofl [ `Fwd; `Bwd ] in
+    let* n_extra = int_range 0 2 in
+    let* extra =
+      list_size (return n_extra)
+        (triple bool (oneofl [ "p"; "q"; "r" ]) (return 0))
+    in
+    let extra = List.map (fun (pos, p, _) -> (pos, p, List.assoc p idb_preds)) extra in
+    return { head; first; extra })
+
+let program_of_rand_rules rules =
+  let x = Datalog.Dterm.var "X"
+  and y = Datalog.Dterm.var "Y" in
+  let args_of arity = if arity = 1 then [ x ] else [ x; y ] in
+  let to_rule r =
+    let first =
+      match r.first with
+      | `Fwd -> Datalog.Literal.pos "e" [ x; y ]
+      | `Bwd -> Datalog.Literal.pos "e" [ y; x ]
+    in
+    let extras =
+      List.map
+        (fun (positive, p, arity) ->
+          let atom_args = if arity = 1 then [ y ] else [ y; x ] in
+          if positive then Datalog.Literal.pos p atom_args
+          else Datalog.Literal.neg p atom_args)
+        r.extra
+    in
+    let pred, arity = r.head in
+    Datalog.Rule.make (Datalog.Literal.atom pred (args_of arity)) (first :: extras)
+  in
+  Datalog.Program.make (List.map to_rule rules)
+
+let rand_program_gen =
+  QCheck.Gen.(
+    let* n = int_range 1 5 in
+    let* rules = list_size (return n) rand_rule_gen in
+    return (program_of_rand_rules rules))
+
+let rand_program_arb =
+  QCheck.make
+    ~print:(fun p -> Datalog.Program.to_string p)
+    rand_program_gen
+
+let rand_instance_arb =
+  QCheck.make
+    ~print:(fun (p, edges) ->
+      Datalog.Program.to_string p ^ " | "
+      ^ String.concat " " (List.map (fun (a, b) -> a ^ "->" ^ b) edges))
+    QCheck.Gen.(pair rand_program_gen (graph_gen ~max_nodes:4 ~max_edges:6 ()))
+
+let e_edb edges =
+  List.fold_left
+    (fun edb (a, b) -> Datalog.Edb.add "e" [ Value.sym a; Value.sym b ] edb)
+    Datalog.Edb.empty edges
+
+(* Random small value sets over integers, for algebra-identity properties. *)
+let small_set_gen =
+  QCheck.Gen.(
+    let* elems = list_size (int_range 0 8) (int_range 0 6) in
+    return (Value.set (List.map Value.int elems)))
+
+let small_set_arb = QCheck.make ~print:Value.to_string small_set_gen
+
+let triple_sets_arb =
+  QCheck.make
+    ~print:(fun (a, b, c) ->
+      Fmt.str "%a %a %a" Value.pp a Value.pp b Value.pp c)
+    QCheck.Gen.(triple small_set_gen small_set_gen small_set_gen)
+
+(* Random non-recursive algebra expressions over two unary integer
+   relations d1, d2 — the instance family for the Proposition 5.4
+   equivalence property. *)
+let algebra_db =
+  Algebra.Db.of_list
+    [
+      ("d1", List.map Value.int [ 0; 1; 2; 3 ]);
+      ("d2", List.map Value.int [ 2; 3; 4 ]);
+    ]
+
+let expr_gen =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        return (Algebra.Expr.rel "d1");
+        return (Algebra.Expr.rel "d2");
+        (let* elems = list_size (int_range 0 3) (int_range 0 5) in
+         return (Algebra.Expr.lit (List.map Value.int elems)));
+      ]
+  in
+  let rec node depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (2, leaf);
+          ( 2,
+            let* a = node (depth - 1) in
+            let* b = node (depth - 1) in
+            return (Algebra.Expr.union a b) );
+          ( 2,
+            let* a = node (depth - 1) in
+            let* b = node (depth - 1) in
+            return (Algebra.Expr.diff a b) );
+          ( 1,
+            let* a = node (depth - 1) in
+            let* b = node (depth - 1) in
+            return (Algebra.Expr.product a b) );
+          ( 2,
+            let* a = node (depth - 1) in
+            let* k = int_range 0 4 in
+            return
+              (Algebra.Expr.select
+                 (Algebra.Pred.Lt (Algebra.Efun.Id, Algebra.Efun.Const (Value.int k)))
+                 a) );
+          ( 2,
+            let* a = node (depth - 1) in
+            let* k = int_range 0 3 in
+            return (Algebra.Expr.map (Algebra.Efun.add_const k) a) );
+        ]
+  in
+  node 3
+
+let expr_arb = QCheck.make ~print:Algebra.Expr.to_string expr_gen
