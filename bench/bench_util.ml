@@ -46,3 +46,64 @@ let bechamel_ns_per_run tests =
 let hr title = Fmt.pr "@.== %s ==@." title
 
 let row fmt = Fmt.pr fmt
+
+(* --- machine-readable records (the CI perf trajectory) --- *)
+
+(* A flat JSON object per benchmark row; collected during a run and
+   written out by [flush_json] when [--json FILE] was given, so numbers
+   are diffable across PRs without scraping the tables. *)
+type json = F of float | I of int | B of bool | S of string
+
+let json_path : string option ref = ref None
+let smoke = ref false
+let records : (string * json) list list ref = ref []
+
+let set_json_path path = json_path := Some path
+let set_smoke () = smoke := true
+let is_smoke () = !smoke
+let record fields = records := fields :: !records
+
+let escape_json s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_field v =
+  match v with
+  | F x -> Printf.sprintf "%.4f" x
+  | I n -> string_of_int n
+  | B b -> string_of_bool b
+  | S s -> Printf.sprintf "\"%s\"" (escape_json s)
+
+let flush_json () =
+  match !json_path with
+  | None -> ()
+  | Some path ->
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i fields ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf "  {";
+        List.iteri
+          (fun j (k, v) ->
+            if j > 0 then Buffer.add_string buf ", ";
+            Buffer.add_string buf
+              (Printf.sprintf "\"%s\": %s" (escape_json k) (json_of_field v)))
+          fields;
+        Buffer.add_string buf "}")
+      (List.rev !records);
+    Buffer.add_string buf "\n]\n";
+    let oc = open_out path in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Fmt.pr "@.wrote %d bench record(s) to %s@." (List.length !records) path

@@ -63,8 +63,9 @@ let e1 () =
 
 let e2 () =
   U.hr "E2 (Thm 4.3): stratified deduction vs positive IFP-algebra, TC";
-  U.row "%-10s %8s %14s %14s %14s %7s@." "chain" "|tc|" "stratified ms"
-    "IFP-alg ms" "translated ms" "equal";
+  U.row "%-10s %8s %14s %12s %14s %9s %14s %7s@." "chain" "|tc|" "stratified ms"
+    "naive ms" "seminaive ms" "speedup" "translated ms" "equal";
+  let sizes = if U.is_smoke () then [ 12; 24 ] else [ 12; 24; 48 ] in
   List.iter
     (fun n ->
       let edges = W.chain n in
@@ -76,10 +77,19 @@ let e2 () =
             | Error e -> failwith e)
       in
       let db = W.db_of ~rel:"edge" edges in
-      let ifp_ms, ifp_value =
-        U.time_ms (fun () -> Algebra.Eval.eval (Algebra.Defs.make []) db W.tc_ifp)
+      let no_defs = Algebra.Defs.make [] in
+      let naive_ms, naive_value =
+        U.time_ms (fun () ->
+            Algebra.Eval.eval ~strategy:Algebra.Delta.Naive no_defs db W.tc_ifp)
       in
-      (* The mechanical Theorem 4.3 image of the datalog program. *)
+      let semi_ms, semi_value =
+        U.time_ms (fun () ->
+            Algebra.Eval.eval ~strategy:Algebra.Delta.Seminaive no_defs db W.tc_ifp)
+      in
+      (* The two IFP engines must produce byte-identical sets. *)
+      assert (Value.equal naive_value semi_value);
+      (* The mechanical Theorem 4.3 image of the datalog program
+         (evaluated with the default semi-naive strategy). *)
       let tr_ms, tr_tuples =
         U.time_ms (fun () ->
             match Translate.Stratified_to_ifp.translate W.tc_program edb with
@@ -88,11 +98,24 @@ let e2 () =
       in
       let tc_count = Datalog.Edb.cardinal strat "t" in
       let equal =
-        Value.cardinal ifp_value = tc_count && List.length tr_tuples = tc_count
+        Value.equal naive_value semi_value
+        && Value.cardinal semi_value = tc_count
+        && List.length tr_tuples = tc_count
       in
-      U.row "%-10d %8d %14.2f %14.2f %14.2f %7b@." n tc_count strat_ms ifp_ms
-        tr_ms equal)
-    [ 12; 24; 48 ]
+      let speedup = naive_ms /. semi_ms in
+      U.row "%-10d %8d %14.2f %12.2f %14.2f %8.1fx %14.2f %7b@." n tc_count
+        strat_ms naive_ms semi_ms speedup tr_ms equal;
+      U.record
+        [ ("experiment", U.S "e2");
+          ("workload", U.S (Fmt.str "chain-%d" n));
+          ("cardinality", U.I tc_count);
+          ("naive_ms", U.F naive_ms);
+          ("seminaive_ms", U.F semi_ms);
+          ("speedup", U.F speedup);
+          ("stratified_ms", U.F strat_ms);
+          ("translated_ms", U.F tr_ms);
+          ("agree", U.B equal) ])
+    sizes
 
 (* ------------------------------------------------------------------ *)
 (* E3 — semantics cost: valid vs well-founded vs inflationary.         *)
@@ -151,26 +174,52 @@ let e4 () =
 
 let e5 () =
   U.hr "E5 (Thm 3.5): IFP-algebra query through the elimination pipeline";
-  U.row "%-12s %8s %10s %10s %12s %7s@." "graph" "direct" "stage" "defs"
-    "pipeline ms" "equal";
+  U.row "%-12s %8s %8s %6s %12s %10s %14s %9s %7s@." "graph" "direct" "stage"
+    "defs" "translate ms" "naive ms" "seminaive ms" "speedup" "equal";
   let run name edges =
     let db = W.db_of ~rel:"edge" edges in
     let direct = Algebra.Eval.eval (Algebra.Defs.make []) db W.tc_ifp in
-    let ms, (elim, value) =
+    let translate_ms, elim =
       U.time_ms ~runs:3 (fun () ->
-          let elim = Translate.Ifp_elim.eliminate (Algebra.Defs.make []) db W.tc_ifp in
-          (elim, Translate.Ifp_elim.query_value elim))
+          Translate.Ifp_elim.eliminate (Algebra.Defs.make []) db W.tc_ifp)
     in
-    U.row "%-12s %8d %10d %10d %12.2f %7b@." name (Value.cardinal direct)
-      elim.Translate.Ifp_elim.stage_bound
+    (* Solve the produced algebra= program with both fixpoint engines. *)
+    let naive_ms, value_naive =
+      U.time_ms ~runs:3 (fun () ->
+          Translate.Ifp_elim.query_value ~strategy:Algebra.Delta.Naive elim)
+    in
+    let semi_ms, value_semi =
+      U.time_ms ~runs:3 (fun () ->
+          Translate.Ifp_elim.query_value ~strategy:Algebra.Delta.Seminaive elim)
+    in
+    assert (
+      Value.equal value_naive.Algebra.Rec_eval.low value_semi.Algebra.Rec_eval.low
+      && Value.equal value_naive.Algebra.Rec_eval.high
+           value_semi.Algebra.Rec_eval.high);
+    let equal =
+      Value.equal value_semi.Algebra.Rec_eval.low direct
+      && Value.equal value_semi.Algebra.Rec_eval.high direct
+    in
+    let speedup = naive_ms /. semi_ms in
+    U.row "%-12s %8d %8d %6d %12.2f %10.2f %14.2f %8.1fx %7b@." name
+      (Value.cardinal direct) elim.Translate.Ifp_elim.stage_bound
       (List.length (Algebra.Defs.defs elim.Translate.Ifp_elim.defs))
-      ms
-      (Value.equal value.Algebra.Rec_eval.low direct
-      && Value.equal value.Algebra.Rec_eval.high direct)
+      translate_ms naive_ms semi_ms speedup equal;
+    U.record
+      [ ("experiment", U.S "e5");
+        ("workload", U.S name);
+        ("cardinality", U.I (Value.cardinal direct));
+        ("naive_ms", U.F naive_ms);
+        ("seminaive_ms", U.F semi_ms);
+        ("speedup", U.F speedup);
+        ("translate_ms", U.F translate_ms);
+        ("agree", U.B equal) ]
   in
   run "chain-2" (W.chain 2);
-  run "chain-3" (W.chain 3);
-  run "cycle-3" (W.cycle 3)
+  if not (U.is_smoke ()) then begin
+    run "chain-3" (W.chain 3);
+    run "cycle-3" (W.cycle 3)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* E6 — Proposition 5.2: stage indices simulate inflationary.          *)
@@ -313,16 +362,38 @@ let experiments =
   ]
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: (_ :: _ as names) ->
+  (* Usage: main.exe [EXPERIMENT...] [smoke] [--json FILE]
+     - smoke: reduced workload sizes (the CI smoke stage)
+     - --json FILE: also write the run's records as a JSON array *)
+  let rec parse names args =
+    match args with
+    | [] -> List.rev names
+    | "--json" :: path :: rest ->
+      U.set_json_path path;
+      parse names rest
+    | [ "--json" ] ->
+      Fmt.epr "--json requires a file argument@.";
+      exit 2
+    | "smoke" :: rest ->
+      U.set_smoke ();
+      parse names rest
+    | name :: rest -> parse (name :: names) rest
+  in
+  let names = parse [] (List.tl (Array.to_list Sys.argv)) in
+  (match names with
+  | [] ->
+    List.iter (fun (_, f) -> f ()) experiments;
+    micro ()
+  | names ->
     List.iter
       (fun name ->
         match List.assoc_opt name experiments with
         | Some f -> f ()
         | None ->
           if String.equal name "micro" then micro ()
-          else Fmt.epr "unknown experiment %s (e1..e8, micro)@." name)
-      names
-  | _ ->
-    List.iter (fun (_, f) -> f ()) experiments;
-    micro ()
+          else begin
+            Fmt.epr "unknown experiment %s (e1..e9, micro)@." name;
+            exit 2
+          end)
+      names);
+  U.flush_json ()

@@ -13,6 +13,9 @@ let find t name = List.find_opt (fun d -> String.equal d.name name) t.defs
 let constant_names t =
   List.filter_map (fun d -> if d.params = [] then Some d.name else None) t.defs
 
+let constant_bodies t =
+  List.filter_map (fun d -> if d.params = [] then Some (d.name, d.body) else None) t.defs
+
 (* Dependency edges among parameterised definitions through Call nodes. *)
 let param_def_deps t =
   List.concat_map

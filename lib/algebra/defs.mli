@@ -30,6 +30,10 @@ val find : t -> string -> def option
 val constant_names : t -> string list
 (** Names of the nullary definitions, in declaration order. *)
 
+val constant_bodies : t -> (string * Expr.t) list
+(** Nullary definitions as [(name, body)] pairs, in declaration order —
+    the equation system the recursive evaluator solves. *)
+
 val validate : t -> (unit, string) result
 (** Checks: names distinct; bodies use only declared parameters; call
     arities match; no recursion through parameterised definitions. *)

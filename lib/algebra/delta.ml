@@ -1,0 +1,64 @@
+open Recalg_kernel
+
+type strategy = Naive | Seminaive
+
+let is_empty v = Value.equal v Value.empty_set
+
+(* Does [e] mention any of [names] free? Respects Ifp shadowing. *)
+let touches names e =
+  let rec go bound e =
+    match e with
+    | Expr.Rel n -> (not (List.mem n bound)) && List.mem n names
+    | Expr.Lit _ | Expr.Param _ -> false
+    | Expr.Union (a, b) | Expr.Diff (a, b) | Expr.Product (a, b) ->
+      go bound a || go bound b
+    | Expr.Select (_, a) | Expr.Map (_, a) -> go bound a
+    | Expr.Ifp (x, a) -> go (x :: bound) a
+    | Expr.Call (_, args) -> List.exists (go bound) args
+  in
+  go [] e
+
+let eligible names e = Positivity.has_linear_occurrence names e
+
+let derive ~builtins ~eval ?eval_diff_right ~deltas e =
+  let eval_diff_right = Option.value eval_diff_right ~default:eval in
+  let names = List.map fst deltas in
+  let rec go e =
+    if not (touches names e) then Value.empty_set
+    else
+      match e with
+      | Expr.Rel n -> (
+        match List.assoc_opt n deltas with
+        | Some d -> d
+        | None -> Value.empty_set)
+      | Expr.Union (a, b) -> Value.union (go a) (go b)
+      | Expr.Product (a, b) ->
+        (* Δ(a × b) = Δa × b ∪ a × Δb, against the *current* values of the
+           unchanged factors — Δa × Δb is covered by either term. *)
+        let da = go a and db = go b in
+        let left = if is_empty da then Value.empty_set else Value.product da (eval b) in
+        let right = if is_empty db then Value.empty_set else Value.product (eval a) db in
+        Value.union left right
+      | Expr.Select (p, a) ->
+        Value.filter (fun v -> Pred.eval builtins p v = Some true) (go a)
+      | Expr.Map (f, a) -> Value.filter_map_set (Efun.apply builtins f) (go a)
+      | Expr.Diff (a, b) ->
+        if touches names b then
+          (* Non-linear: subtraction shrinks as its right side grows, so
+             delta propagation is unsound here — re-evaluate in full. The
+             result is still a valid delta (superset of the new tuples,
+             subset of the current value). *)
+          eval e
+        else
+          let da = go a in
+          if is_empty da then Value.empty_set
+          else Value.diff da (eval_diff_right b)
+      | Expr.Ifp _ | Expr.Call _ ->
+        (* Opaque to distribution: a nested fixpoint (or uninlined call)
+           over a changed name is re-evaluated in full. *)
+        eval e
+      | Expr.Lit _ | Expr.Param _ ->
+        (* Unreachable: neither mentions a tracked name. *)
+        Value.empty_set
+  in
+  go e

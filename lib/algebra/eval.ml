@@ -3,7 +3,7 @@ open Recalg_kernel
 exception Undefined_relation of string
 exception Recursive_definition of string
 
-let eval ?(fuel = Limits.default ()) defs db expr =
+let eval ?(fuel = Limits.default ()) ?(strategy = Delta.Seminaive) defs db expr =
   let builtins = Defs.builtins defs in
   let memo : (string, Value.t) Hashtbl.t = Hashtbl.create 8 in
   let rec eval_name visiting name =
@@ -37,14 +37,42 @@ let eval ?(fuel = Limits.default ()) defs db expr =
         (go visiting env a)
     | Expr.Map (f, a) -> Value.filter_map_set (Efun.apply builtins f) (go visiting env a)
     | Expr.Ifp (x, body) ->
-      let rec iterate s =
-        Limits.spend fuel ~what:"IFP iteration";
-        let s' = Value.union s (go visiting ((x, s) :: env) body) in
-        if Value.equal s s' then s else iterate s'
+      let full s = go visiting ((x, s) :: env) body in
+      let naive () =
+        let rec iterate s =
+          Limits.spend fuel ~what:"IFP iteration";
+          let s' = Value.union s (full s) in
+          if Value.equal s s' then s else iterate s'
+        in
+        iterate Value.empty_set
       in
-      iterate Value.empty_set
+      (match strategy with
+      | Delta.Naive -> naive ()
+      | Delta.Seminaive when not (Delta.eligible [ x ] body) -> naive ()
+      | Delta.Seminaive ->
+        (* Semi-naive: after the first full pass, each round joins only
+           the delta of the previous round against the accumulated set.
+           Visits the same states as [naive] on the same rounds (and
+           spends the same fuel) — see {!Delta}. *)
+        Limits.spend fuel ~what:"IFP iteration";
+        let s0 = full Value.empty_set in
+        let rec loop s d =
+          if Delta.is_empty d then s
+          else begin
+            Limits.spend fuel ~what:"IFP iteration";
+            let derived =
+              Delta.derive ~builtins
+                ~eval:(fun e -> go visiting ((x, s) :: env) e)
+                ~deltas:[ (x, d) ]
+                body
+            in
+            let d' = Value.diff derived s in
+            loop (Value.union s d') d'
+          end
+        in
+        loop s0 s0)
     | Expr.Call _ -> go visiting env (Defs.inline defs e)
   in
   go [] [] (Defs.inline defs expr)
 
-let eval_closed ?fuel db expr = eval ?fuel (Defs.make []) db expr
+let eval_closed ?fuel ?strategy db expr = eval ?fuel ?strategy (Defs.make []) db expr

@@ -11,10 +11,23 @@ open Recalg_kernel
 exception Undefined_relation of string
 exception Recursive_definition of string
 
-val eval : ?fuel:Limits.fuel -> Defs.t -> Db.t -> Expr.t -> Value.t
+val eval :
+  ?fuel:Limits.fuel ->
+  ?strategy:Delta.strategy ->
+  Defs.t ->
+  Db.t ->
+  Expr.t ->
+  Value.t
 (** Raises {!Recursive_definition} when the expression reaches a defined
     constant that (transitively) refers to itself, and
-    [Limits.Diverged] when an [IFP] fails to converge within fuel. *)
+    [Limits.Diverged] when an [IFP] fails to converge within fuel.
 
-val eval_closed : ?fuel:Limits.fuel -> Db.t -> Expr.t -> Value.t
+    [strategy] (default [Seminaive]) selects the [IFP] loop: semi-naive
+    delta iteration where the fixpoint variable occurs delta-linearly
+    (see {!Delta}), with per-subexpression fallback to full
+    re-evaluation elsewhere. Both strategies compute byte-identical
+    results on identical rounds; [Naive] is the benchmark baseline. *)
+
+val eval_closed :
+  ?fuel:Limits.fuel -> ?strategy:Delta.strategy -> Db.t -> Expr.t -> Value.t
 (** Evaluation with no definitions in scope. *)

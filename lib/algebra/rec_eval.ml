@@ -30,6 +30,7 @@ type solution = {
   db : Db.t;
   fuel : Limits.fuel;
   window : Value.t option;
+  strategy : Delta.strategy;
   rounds : int;
 }
 
@@ -38,8 +39,8 @@ type solution = {
    reading of subtraction: an element is certainly in [a - b] when it is
    certainly in [a] and not possibly in [b]; possibly in [a - b] when
    possibly in [a] and not certainly in [b]. *)
-let rec eval_vset builtins db lows highs fuel env e =
-  let recur = eval_vset builtins db lows highs fuel in
+let rec eval_vset builtins db lows highs fuel strategy env e =
+  let recur = eval_vset builtins db lows highs fuel strategy in
   match e with
   | Expr.Rel name -> (
     match List.assoc_opt name env with
@@ -70,12 +71,44 @@ let rec eval_vset builtins db lows highs fuel env e =
     { low = Value.filter_map_set apply sa.low;
       high = Value.filter_map_set apply sa.high }
   | Expr.Ifp (x, body) ->
-    let rec iterate s =
-      Limits.spend fuel ~what:"Rec_eval: IFP iteration";
-      let s' = vset_union s (recur ((x, s) :: env) body) in
-      if vset_equal s s' then s else iterate s'
+    let full s = recur ((x, s) :: env) body in
+    let naive () =
+      let rec iterate s =
+        Limits.spend fuel ~what:"Rec_eval: IFP iteration";
+        let s' = vset_union s (full s) in
+        if vset_equal s s' then s else iterate s'
+      in
+      iterate (exact Value.empty_set)
     in
-    iterate (exact Value.empty_set)
+    (match strategy with
+    | Delta.Naive -> naive ()
+    | Delta.Seminaive when not (Delta.eligible [ x ] body) -> naive ()
+    | Delta.Seminaive ->
+      (* Semi-naive on both bounds: the low (resp. high) delta of a
+         linear body depends only on the low (resp. high) delta of the
+         variable; a difference's right argument is variable-free here,
+         so its opposite bound is what gets subtracted — mirroring
+         [low = a.low - b.high], [high = a.high - b.low]. *)
+      Limits.spend fuel ~what:"Rec_eval: IFP iteration";
+      let s0 = full (exact Value.empty_set) in
+      let rec loop s d =
+        if Delta.is_empty d.low && Delta.is_empty d.high then s
+        else begin
+          Limits.spend fuel ~what:"Rec_eval: IFP iteration";
+          let derive proj opp dval =
+            Delta.derive ~builtins
+              ~eval:(fun e -> proj (recur ((x, s) :: env) e))
+              ~eval_diff_right:(fun e -> opp (recur ((x, s) :: env) e))
+              ~deltas:[ (x, dval) ]
+              body
+          in
+          let dlow = derive (fun v -> v.low) (fun v -> v.high) d.low in
+          let dhigh = derive (fun v -> v.high) (fun v -> v.low) d.high in
+          let d' = { low = Value.diff dlow s.low; high = Value.diff dhigh s.high } in
+          loop (vset_union s d') d'
+        end
+      in
+      loop s0 s0)
   | Expr.Call _ -> invalid_arg "Rec_eval: Call survived inlining"
 
 let clip window v =
@@ -83,32 +116,59 @@ let clip window v =
   | None -> v
   | Some u -> Value.inter v u
 
-let solve ?(fuel = Limits.default ()) ?window defs db =
+let solve ?(fuel = Limits.default ()) ?window ?(strategy = Delta.Seminaive) defs db =
   let inlined = Defs.inline_all defs in
   let builtins = Defs.builtins inlined in
-  let names = Defs.constant_names inlined in
-  let body name =
-    match Defs.find inlined name with
-    | Some d -> d.Defs.body
-    | None -> assert false
+  let bodies = Defs.constant_bodies inlined in
+  let names = List.map fst bodies in
+  let body name = List.assoc name bodies in
+  (* Per-constant semi-naive eligibility: some defined constant occurs
+     delta-linearly in the body. Ineligible constants are recomputed in
+     full every phase iteration, exactly as the naive engine does. *)
+  let eligible =
+    match strategy with
+    | Delta.Naive -> fun _ -> false
+    | Delta.Seminaive ->
+      let table = List.map (fun n -> (n, Delta.eligible names (body n))) names in
+      fun n -> List.assoc n table
   in
   let empty_map = List.fold_left (fun m n -> Smap.add n Value.empty_set m) Smap.empty names in
-  (* Least fixpoint of one phase: recompute every constant from the given
+  (* Least fixpoint of one phase: refine every constant from the given
      evaluation until nothing changes. [project] picks which bound the
-     phase refines. *)
-  let phase_lfp ~eval_bounds ~project =
-    let rec iterate current =
+     phase grows; [opposite] is the other bound, subtracted under Diff.
+     The phase operator is monotone in the growing map (a difference's
+     right side flips the bound as it flips polarity), so the Kleene
+     iterates from the empty map grow and a constant's next value is its
+     current value united with the delta-derived tuples — semi-naive and
+     full recomputation visit identical maps on identical iterations. *)
+  let phase_lfp ~eval_bounds ~project ~opposite =
+    let rec iterate current deltas first =
       Limits.spend fuel ~what:"Rec_eval: phase iteration";
-      let next =
+      let changed = ref false in
+      let next, next_deltas =
         List.fold_left
-          (fun acc name ->
-            let s = eval_bounds current (body name) in
-            Smap.add name (clip window (project s)) acc)
-          current names
+          (fun (acc, ds) name ->
+            let b = body name in
+            let cur = Smap.find name current in
+            let value =
+              if first || not (eligible name) then
+                clip window (project (eval_bounds current b))
+              else
+                let derived =
+                  Delta.derive ~builtins
+                    ~eval:(fun e -> project (eval_bounds current e))
+                    ~eval_diff_right:(fun e -> opposite (eval_bounds current e))
+                    ~deltas b
+                in
+                Value.union cur (clip window derived)
+            in
+            if not (Value.equal value cur) then changed := true;
+            (Smap.add name value acc, (name, Value.diff value cur) :: ds))
+          (current, []) names
       in
-      if Smap.equal Value.equal current next then current else iterate next
+      if !changed then iterate next next_deltas false else next
     in
-    iterate empty_map
+    iterate empty_map [] true
   in
   let rec outer lows_prev rounds =
     Limits.spend fuel ~what:"Rec_eval: outer round";
@@ -117,18 +177,20 @@ let solve ?(fuel = Limits.default ()) ?window defs db =
     let highs =
       phase_lfp
         ~eval_bounds:(fun highs_cur e ->
-          eval_vset builtins db lows_prev highs_cur fuel [] e)
+          eval_vset builtins db lows_prev highs_cur fuel strategy [] e)
         ~project:(fun s -> s.high)
+        ~opposite:(fun s -> s.low)
     in
     (* Low phase: highs fixed, lows grow from the empty map. *)
     let lows =
       phase_lfp
         ~eval_bounds:(fun lows_cur e ->
-          eval_vset builtins db lows_cur highs fuel [] e)
+          eval_vset builtins db lows_cur highs fuel strategy [] e)
         ~project:(fun s -> s.low)
+        ~opposite:(fun s -> s.high)
     in
     if Smap.equal Value.equal lows lows_prev then
-      { lows; highs; defs = inlined; db; fuel; window; rounds }
+      { lows; highs; defs = inlined; db; fuel; window; strategy; rounds }
     else outer lows (rounds + 1)
   in
   outer empty_map 1
@@ -140,13 +202,14 @@ let constant sol name =
 
 let rounds sol = sol.rounds
 
-let eval ?fuel ?window defs db expr =
-  let sol = solve ?fuel ?window defs db in
+let eval ?fuel ?window ?strategy defs db expr =
+  let sol = solve ?fuel ?window ?strategy defs db in
   let inlined_expr = Defs.inline sol.defs (Defs.inline defs expr) in
-  eval_vset (Defs.builtins sol.defs) sol.db sol.lows sol.highs sol.fuel [] inlined_expr
+  eval_vset (Defs.builtins sol.defs) sol.db sol.lows sol.highs sol.fuel sol.strategy []
+    inlined_expr
 
-let well_defined ?fuel ?window defs db =
-  let sol = solve ?fuel ?window defs db in
+let well_defined ?fuel ?window ?strategy defs db =
+  let sol = solve ?fuel ?window ?strategy defs db in
   List.for_all
     (fun name -> is_defined (constant sol name))
     (Defs.constant_names sol.defs)

@@ -39,14 +39,27 @@ val pp_vset : Format.formatter -> vset -> unit
 type solution
 
 val solve :
-  ?fuel:Limits.fuel -> ?window:Value.t -> Defs.t -> Db.t -> solution
+  ?fuel:Limits.fuel ->
+  ?window:Value.t ->
+  ?strategy:Delta.strategy ->
+  Defs.t ->
+  Db.t ->
+  solution
 (** Run the alternating fixpoint for all nullary constants. [window], when
     given, intersects every constant with a finite universe after each
     step — the domain-independence "window" that makes intentionally
     infinite sets (the even numbers [S^e_c]) queryable; answers are then
     only meaningful for elements inside the window, and only when values
     outside the window cannot flow back in (true of all bundled
-    examples). *)
+    examples).
+
+    [strategy] (default [Seminaive]) selects how each phase's least
+    fixpoint is computed: per defined constant, iterations join only the
+    delta-derived new tuples against the accumulated bound when the
+    body's defined constants occur delta-linearly, falling back to full
+    recomputation otherwise (and for nested [IFP]s likewise, per bound).
+    Both strategies visit byte-identical bounds on identical iterations;
+    [Naive] is the benchmark baseline. *)
 
 val constant : solution -> string -> vset
 (** Raises {!Undefined_relation} for an unknown name. *)
@@ -55,10 +68,22 @@ val rounds : solution -> int
 (** Outer alternating-fixpoint rounds used — benchmark instrumentation. *)
 
 val eval :
-  ?fuel:Limits.fuel -> ?window:Value.t -> Defs.t -> Db.t -> Expr.t -> vset
+  ?fuel:Limits.fuel ->
+  ?window:Value.t ->
+  ?strategy:Delta.strategy ->
+  Defs.t ->
+  Db.t ->
+  Expr.t ->
+  vset
 (** Solve, then evaluate a query expression in the solution. *)
 
-val well_defined : ?fuel:Limits.fuel -> ?window:Value.t -> Defs.t -> Db.t -> bool
+val well_defined :
+  ?fuel:Limits.fuel ->
+  ?window:Value.t ->
+  ?strategy:Delta.strategy ->
+  Defs.t ->
+  Db.t ->
+  bool
 (** Whether every defined constant came out two-valued — the semi-decision
     our engine can offer for the (undecidable, Prop 3.2) initial-valid-
     model existence question, relative to the grounded universe. *)

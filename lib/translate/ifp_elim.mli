@@ -33,9 +33,15 @@ val eliminate :
     semantics, which disagrees with the valid semantics on recursive
     definitions that use subtraction (Example 4). *)
 
-val query_value : ?fuel:Limits.fuel -> ?window:Value.t -> t -> Rec_eval.vset
+val query_value :
+  ?fuel:Limits.fuel ->
+  ?window:Value.t ->
+  ?strategy:Delta.strategy ->
+  t ->
+  Rec_eval.vset
 (** Solve the produced [algebra=] program and return the query constant's
-    set, unwrapped back to plain elements. *)
+    set, unwrapped back to plain elements. [strategy] selects semi-naive
+    (default) or naive fixpoint iteration in {!Rec_eval.solve}. *)
 
 val uses_ifp : Expr.t -> bool
 val defs_use_ifp : Defs.t -> bool

@@ -92,8 +92,8 @@ let translate program edb =
           pred_constants = List.map (fun p -> (p, p)) idb;
         })
 
-let eval_pred ?fuel t pred =
-  let value = Eval.eval ?fuel t.defs t.db (Expr.rel pred) in
+let eval_pred ?fuel ?strategy t pred =
+  let value = Eval.eval ?fuel ?strategy t.defs t.db (Expr.rel pred) in
   List.filter_map
     (fun v ->
       match v with

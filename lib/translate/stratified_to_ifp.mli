@@ -25,5 +25,7 @@ val translate : Program.t -> Edb.t -> (t, string) result
 (** [Error] when the program is unsafe or not stratified. *)
 
 val eval_pred :
-  ?fuel:Limits.fuel -> t -> string -> Value.t list list
-(** Evaluate one translated predicate to its set of argument tuples. *)
+  ?fuel:Limits.fuel -> ?strategy:Delta.strategy -> t -> string -> Value.t list list
+(** Evaluate one translated predicate to its set of argument tuples.
+    [strategy] selects semi-naive (default) or naive [IFP] iteration in
+    {!Recalg_algebra.Eval.eval}. *)

@@ -391,3 +391,109 @@ let prop_windowed_rec_eval_sound =
       && Value.equal plain.Rec_eval.high windowed.Rec_eval.high)
 
 let suite = suite @ [ QCheck_alcotest.to_alcotest prop_windowed_rec_eval_sound ]
+
+(* --- semi-naive delta evaluation (Delta / Positivity.delta_linear) --- *)
+
+let test_delta_linearity () =
+  let x = Expr.rel "x" in
+  let lin = Expr.(union (rel "edge") (product x (rel "edge"))) in
+  Alcotest.(check bool) "union/product linear" true
+    (Positivity.delta_linear [ "x" ] lin);
+  let neg = Expr.(diff (rel "edge") x) in
+  Alcotest.(check bool) "diff-right not linear" false
+    (Positivity.delta_linear [ "x" ] neg);
+  Alcotest.(check bool) "diff-right has no linear occurrence" false
+    (Positivity.has_linear_occurrence [ "x" ] neg);
+  let mixed = Expr.(union (product x (rel "edge")) (diff (rel "edge") x)) in
+  Alcotest.(check bool) "mixed body not fully linear" false
+    (Positivity.delta_linear [ "x" ] mixed);
+  Alcotest.(check bool) "mixed body still has a linear occurrence" true
+    (Positivity.has_linear_occurrence [ "x" ] mixed);
+  Alcotest.(check bool) "inter places x under diff-right" false
+    (Positivity.delta_linear [ "x" ] Expr.(inter (rel "edge") x));
+  (* Occurrences bound by an inner IFP over the same name don't count. *)
+  Alcotest.(check bool) "shadowed occurrences ignored" true
+    (Positivity.delta_linear [ "x" ] Expr.(ifp "x" (union x (rel "edge"))))
+
+let test_seminaive_mixture_body () =
+  (* A body mixing a delta-linear occurrence (through composition) with a
+     fallback occurrence (under Diff's right argument): both strategies
+     must agree, and the semi-naive run must take the derive path for the
+     linear part while re-evaluating the Diff node in full. *)
+  let db =
+    Db.of_list
+      [ ( "edge",
+          [ Value.pair (vs "a") (vs "b");
+            Value.pair (vs "b") (vs "c");
+            Value.pair (vs "c") (vs "a") ] ) ]
+  in
+  let body x = Expr.(union (compose (rel "edge") x) (diff (rel "edge") x)) in
+  let e = Expr.ifp "x" (body (Expr.rel "x")) in
+  let naive = Eval.eval ~strategy:Delta.Naive no_defs db e in
+  let semi = Eval.eval ~strategy:Delta.Seminaive no_defs db e in
+  Alcotest.check check_value "mixture body agrees" naive semi
+
+let prop_seminaive_ifp_equals_naive =
+  (* The engine-equivalence property behind experiment E2: on random
+     recursive bodies — including non-monotone ones and ones forcing the
+     conservative fallback — semi-naive IFP iteration reaches exactly the
+     same fixpoint as naive re-evaluation, spending the same fuel. *)
+  QCheck.Test.make ~name:"semi-naive IFP = naive IFP" ~count:200
+    QCheck.(pair Tgen.ifp_body_arb Tgen.graph_arb)
+    (fun (body, edges) ->
+      let db =
+        Db.of_list
+          [ ("edge", List.map (fun (a, b) -> Value.pair (vs a) (vs b)) edges) ]
+      in
+      let e = Expr.ifp "x" body in
+      let run strategy =
+        try Ok (Eval.eval ~fuel:(Limits.of_int 400) ~strategy no_defs db e)
+        with Limits.Diverged _ -> Error `Diverged
+      in
+      match (run Delta.Naive, run Delta.Seminaive) with
+      | Ok a, Ok b -> Value.equal a b
+      | Error `Diverged, Error `Diverged -> true
+      | _ -> false)
+
+let prop_seminaive_rec_eval_equals_naive =
+  (* Same equivalence for the three-valued alternating fixpoint: a pair
+     of mutually recursive constants with random bodies must get
+     byte-identical low and high bounds under both strategies. *)
+  QCheck.Test.make ~name:"semi-naive rec_eval bounds = naive" ~count:100
+    QCheck.(triple Tgen.ifp_body_arb Tgen.ifp_body_arb Tgen.graph_arb)
+    (fun (b1, b2, edges) ->
+      let db =
+        Db.of_list
+          [ ("edge", List.map (fun (a, b) -> Value.pair (vs a) (vs b)) edges) ]
+      in
+      let subst to_ e =
+        Expr.map_rels (fun n -> Expr.rel (if n = "x" then to_ else n)) e
+      in
+      let defs =
+        Defs.make
+          [ Defs.constant "c" (subst "d" b1); Defs.constant "d" (subst "c" b2) ]
+      in
+      let run strategy =
+        try
+          let sol = Rec_eval.solve ~fuel:(Limits.of_int 5000) ~strategy defs db in
+          Ok (Rec_eval.constant sol "c", Rec_eval.constant sol "d")
+        with Limits.Diverged _ -> Error `Diverged
+      in
+      match (run Delta.Naive, run Delta.Seminaive) with
+      | Ok (c1, d1), Ok (c2, d2) ->
+        Value.equal c1.Rec_eval.low c2.Rec_eval.low
+        && Value.equal c1.Rec_eval.high c2.Rec_eval.high
+        && Value.equal d1.Rec_eval.low d2.Rec_eval.low
+        && Value.equal d1.Rec_eval.high d2.Rec_eval.high
+      | Error `Diverged, Error `Diverged -> true
+      | _ -> false)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "delta linearity" `Quick test_delta_linearity;
+      Alcotest.test_case "semi-naive mixture body" `Quick
+        test_seminaive_mixture_body;
+      QCheck_alcotest.to_alcotest prop_seminaive_ifp_equals_naive;
+      QCheck_alcotest.to_alcotest prop_seminaive_rec_eval_equals_naive;
+    ]

@@ -170,3 +170,57 @@ let expr_gen =
   node 3
 
 let expr_arb = QCheck.make ~print:Algebra.Expr.to_string expr_gen
+
+(* Random recursive bodies over the binary relation "edge" and the
+   fixpoint variable "x" — the instance family for the semi-naive/naive
+   engine equivalence. Every operator maps pair-sets over the node
+   symbols to pair-sets over the node symbols, so fixpoints live in a
+   finite universe; difference and intersection place "x" under a Diff
+   right-hand side, exercising the conservative fallback alongside the
+   delta-linear fragment. *)
+let compose_expr a b =
+  Algebra.Expr.(
+    map
+      (Algebra.Efun.Tuple_of
+         [ Algebra.Efun.Compose (Algebra.Efun.Proj 1, Algebra.Efun.Proj 1);
+           Algebra.Efun.Compose (Algebra.Efun.Proj 2, Algebra.Efun.Proj 2) ])
+      (select
+         (Algebra.Pred.Eq
+            ( Algebra.Efun.Compose (Algebra.Efun.Proj 2, Algebra.Efun.Proj 1),
+              Algebra.Efun.Compose (Algebra.Efun.Proj 1, Algebra.Efun.Proj 2) ))
+         (product a b)))
+
+let ifp_body_gen =
+  let open QCheck.Gen in
+  let leaf =
+    frequency
+      [ (3, return (Algebra.Expr.rel "edge"));
+        (3, return (Algebra.Expr.rel "x"));
+        ( 1,
+          let* pairs =
+            list_size (int_range 0 2) (pair (oneofl node_names) (oneofl node_names))
+          in
+          return
+            (Algebra.Expr.lit
+               (List.map
+                  (fun (a, b) -> Value.pair (Value.sym a) (Value.sym b))
+                  pairs)) ) ]
+  in
+  let swap = Algebra.Efun.Tuple_of [ Algebra.Efun.Proj 2; Algebra.Efun.Proj 1 ] in
+  let self_loop = Algebra.Pred.Eq (Algebra.Efun.Proj 1, Algebra.Efun.Proj 2) in
+  let rec node depth =
+    if depth = 0 then leaf
+    else
+      let sub = node (depth - 1) in
+      frequency
+        [ (2, leaf);
+          (3, map2 Algebra.Expr.union sub sub);
+          (2, map2 compose_expr sub sub);
+          (2, map2 Algebra.Expr.diff sub sub);
+          (1, map2 Algebra.Expr.inter sub sub);
+          (1, map (Algebra.Expr.map swap) sub);
+          (1, map (Algebra.Expr.select (Algebra.Pred.Not self_loop)) sub) ]
+  in
+  node 3
+
+let ifp_body_arb = QCheck.make ~print:Algebra.Expr.to_string ifp_body_gen
