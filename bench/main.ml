@@ -222,10 +222,60 @@ let e5 () =
   end
 
 (* ------------------------------------------------------------------ *)
-(* E6 — Proposition 5.2: stage indices simulate inflationary.          *)
+(* E6 — join ablation: fused hash joins vs product-then-filter.        *)
 
 let e6 () =
-  U.hr "E6 (Prop 5.2): inflationary vs stage-indexed valid semantics";
+  U.hr "E6: join planning ablation, fused hash join vs select∘product";
+  U.row "%-16s %8s %10s %12s %9s %7s@." "workload" "|result|" "fused ms"
+    "unfused ms" "speedup" "equal";
+  let no_defs = Algebra.Defs.make [] in
+  let run name db expr =
+    let eval ?fuel join = Algebra.Eval.eval ?fuel ~join no_defs db expr in
+    let fused_ms, fused_v = U.time_ms (fun () -> eval Algebra.Join.Fused) in
+    let unfused_ms, unfused_v = U.time_ms (fun () -> eval Algebra.Join.Unfused) in
+    (* The planner's contract: byte-identical sets, identical fuel. *)
+    assert (Value.equal fused_v unfused_v);
+    let spent join =
+      let fuel = Limits.of_int 1_000_000 in
+      ignore (eval ~fuel join);
+      Limits.remaining fuel
+    in
+    assert (spent Algebra.Join.Fused = spent Algebra.Join.Unfused);
+    let speedup = unfused_ms /. fused_ms in
+    U.row "%-16s %8d %10.2f %12.2f %8.1fx %7b@." name (Value.cardinal fused_v)
+      fused_ms unfused_ms speedup true;
+    U.record
+      [ ("experiment", U.S "e6");
+        ("workload", U.S name);
+        ("cardinality", U.I (Value.cardinal fused_v));
+        ("fused_ms", U.F fused_ms);
+        ("unfused_ms", U.F unfused_ms);
+        ("speedup", U.F speedup);
+        ("agree", U.B true) ]
+  in
+  let compose_sizes = if U.is_smoke () then [ 60 ] else [ 60; 120; 250 ] in
+  List.iter
+    (fun n ->
+      let db = W.db_of ~rel:"edge" (W.random_graph ~nodes:n ~edges:(2 * n) ~seed:13) in
+      (* e ∘ e⁻¹: pairs of nodes sharing a successor — a single
+         non-recursive join. *)
+      run (Fmt.str "sib-rand-%d" n) db
+        (W.compose (Algebra.Expr.rel "edge") (W.inverse (Algebra.Expr.rel "edge"))))
+    compose_sizes;
+  let tc_sizes = if U.is_smoke () then [ 32 ] else [ 48; 96; 192 ] in
+  List.iter
+    (fun n -> run (Fmt.str "tc-chain-%d" n) (W.db_of ~rel:"edge" (W.chain n)) W.tc_ifp)
+    tc_sizes;
+  let sg_sizes = if U.is_smoke () then [ 15 ] else [ 15; 31; 63 ] in
+  List.iter
+    (fun n -> run (Fmt.str "sg-tree-%d" n) (W.db_of ~rel:"edge" (W.tree n)) W.sg_ifp)
+    sg_sizes
+
+(* ------------------------------------------------------------------ *)
+(* E7 — Proposition 5.2: stage indices simulate inflationary.          *)
+
+let e7 () =
+  U.hr "E7 (Prop 5.2): inflationary vs stage-indexed valid semantics";
   U.row "%-14s %8s %10s %14s %8s %7s@." "program" "inf ms" "staged ms" "stage bound"
     "facts" "equal";
   let run name program edb =
@@ -254,10 +304,10 @@ let e6 () =
   run "win-chain-8" W.win_program (W.edb_of ~pred:"move" (W.chain 8))
 
 (* ------------------------------------------------------------------ *)
-(* E7 — engine ablation: naive vs semi-naive evaluation.               *)
+(* E8 — engine ablation: naive vs semi-naive evaluation.               *)
 
-let e7 () =
-  U.hr "E7: naive vs semi-naive relational evaluation";
+let e8 () =
+  U.hr "E8: naive vs semi-naive relational evaluation";
   U.row "%-14s %8s %10s %12s %9s@." "workload" "|result|" "naive ms" "seminaive ms"
     "speedup";
   let run name program edb pred =
@@ -279,11 +329,11 @@ let e7 () =
   run "sg-chain-12" W.same_generation_program (W.edb_of ~pred:"e" (W.chain 12)) "sg"
 
 (* ------------------------------------------------------------------ *)
-(* E8 — the specification layer: valid interpretation cost and MEM     *)
+(* E9 — the specification layer: valid interpretation cost and MEM     *)
 (* totality (Theorem 3.1's executable face).                           *)
 
-let e8 () =
-  U.hr "E8 (Thm 3.1): valid interpretation of specifications";
+let e9 () =
+  U.hr "E9 (Thm 3.1): valid interpretation of specifications";
   U.row "%-22s %10s %8s %10s %12s@." "spec" "max_size" "terms" "solve ms"
     "fully defined";
   let run name spec max_size cap =
@@ -308,10 +358,10 @@ let e8 () =
 
 
 (* ------------------------------------------------------------------ *)
-(* E9 — grounding ablation: semi-naive vs naive instantiation.         *)
+(* E10 — grounding ablation: semi-naive vs naive instantiation.        *)
 
-let e9 () =
-  U.hr "E9: grounder ablation, delta vs full re-instantiation";
+let e10 () =
+  U.hr "E10: grounder ablation, delta vs full re-instantiation";
   U.row "%-14s %8s %8s %12s %12s %9s@." "workload" "atoms" "rules" "seminaive ms"
     "naive ms" "slowdown";
   let run name program edb =
@@ -358,7 +408,7 @@ let micro () =
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
-    ("e7", e7); ("e8", e8); ("e9", e9);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
   ]
 
 let () =
@@ -392,7 +442,7 @@ let () =
         | None ->
           if String.equal name "micro" then micro ()
           else begin
-            Fmt.epr "unknown experiment %s (e1..e9, micro)@." name;
+            Fmt.epr "unknown experiment %s (e1..e10, micro)@." name;
             exit 2
           end)
       names);

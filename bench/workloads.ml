@@ -25,6 +25,14 @@ let random_graph ~nodes ~edges ~seed =
       (a, b))
   |> List.sort_uniq compare
 
+(* Balanced binary tree on nodes 0..n-1 (edges parent -> child): the
+   interesting workload for same-generation, where a chain would be
+   trivial. *)
+let tree n =
+  List.concat
+    (List.init n (fun i ->
+         List.filter (fun (_, c) -> c < n) [ (i, (2 * i) + 1); (i, (2 * i) + 2) ]))
+
 (* Chains with a cyclic tail: positions 0..n/2 acyclic, rest on a cycle —
    mixes defined and undefined WIN statuses. *)
 let half_cyclic n =
@@ -71,3 +79,19 @@ let compose a b =
 let tc_body x = Algebra.Expr.(union (rel "edge") (compose (rel "edge") x))
 let tc_ifp = Algebra.Expr.(ifp "x" (tc_body (rel "x")))
 let tc_defs = Algebra.Defs.make [ Algebra.Defs.constant "tc" (tc_body (Algebra.Expr.rel "tc")) ]
+
+(* Same-generation over "edge" (parent -> child): base case pairs every
+   node with itself, recursion goes up one edge, across sg, down one
+   edge — sg(x,y) :- e(xp,x), sg(xp,yp), e(yp,y). *)
+let inverse e =
+  Algebra.Expr.map
+    (Algebra.Efun.Tuple_of [ Algebra.Efun.Proj 2; Algebra.Efun.Proj 1 ])
+    e
+
+let sg_body x =
+  let open Algebra.Expr in
+  let nodes = union (pi 1 (rel "edge")) (pi 2 (rel "edge")) in
+  let base = map (Algebra.Efun.Tuple_of [ Algebra.Efun.Id; Algebra.Efun.Id ]) nodes in
+  union base (compose (compose (inverse (rel "edge")) x) (rel "edge"))
+
+let sg_ifp = Algebra.Expr.(ifp "x" (sg_body (rel "x")))

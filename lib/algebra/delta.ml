@@ -20,7 +20,7 @@ let touches names e =
 
 let eligible names e = Positivity.has_linear_occurrence names e
 
-let derive ~builtins ~eval ?eval_diff_right ~deltas e =
+let derive ~builtins ?(join = Join.Fused) ~eval ?eval_diff_right ~deltas e =
   let eval_diff_right = Option.value eval_diff_right ~default:eval in
   let names = List.map fst deltas in
   let rec go e =
@@ -39,8 +39,32 @@ let derive ~builtins ~eval ?eval_diff_right ~deltas e =
         let left = if is_empty da then Value.empty_set else Value.product da (eval b) in
         let right = if is_empty db then Value.empty_set else Value.product (eval a) db in
         Value.union left right
-      | Expr.Select (p, a) ->
-        Value.filter (fun v -> Pred.eval builtins p v = Some true) (go a)
+      | Expr.Select (p, a) -> (
+        (* Fused delta: Δ(σ_p(a × b)) = σ_p(Δa × b) ∪ σ_p(a × Δb), each
+           side a hash join probing the *current* value of the unchanged
+           factor — the same split as the Product rule, without ever
+           materialising a product. *)
+        let fused =
+          match join, a with
+          | Join.Fused, Expr.Product (ea, eb) -> (
+            match Join.plan p with
+            | Some jp ->
+              let da = go ea and db = go eb in
+              let left =
+                if is_empty da then Value.empty_set
+                else Join.exec builtins jp da (eval eb)
+              in
+              let right =
+                if is_empty db then Value.empty_set
+                else Join.exec builtins jp (eval ea) db
+              in
+              Some (Value.union left right)
+            | None -> None)
+          | (Join.Fused | Join.Unfused), _ -> None
+        in
+        match fused with
+        | Some v -> v
+        | None -> Value.filter (fun v -> Pred.eval builtins p v = Some true) (go a))
       | Expr.Map (f, a) -> Value.filter_map_set (Efun.apply builtins f) (go a)
       | Expr.Diff (a, b) ->
         if touches names b then

@@ -33,6 +33,7 @@ val eligible : string list -> Expr.t -> bool
 
 val derive :
   builtins:Builtins.t ->
+  ?join:Join.mode ->
   eval:(Expr.t -> Value.t) ->
   ?eval_diff_right:(Expr.t -> Value.t) ->
   deltas:(string * Value.t) list ->
@@ -45,7 +46,12 @@ val derive :
     subexpression to its full {e current} value (same environment as the
     enclosing fixpoint pass). [eval_diff_right] (default [eval]) is used
     for right arguments of [Diff] — the three-valued engine passes the
-    opposite bound there, mirroring [low = a.low - b.high]. *)
+    opposite bound there, mirroring [low = a.low - b.high].
+
+    [join] (default [Fused]) plans [Select (p, Product _)] nodes as hash
+    joins ({!Join}): the delta of such a node joins each factor's delta
+    against the current value of the other factor, so delta rounds stay
+    [O(|Δ| + |probe| + |out|)] instead of materialising products. *)
 
 val touches : string list -> Expr.t -> bool
 (** Some tracked name occurs free in the expression. *)

@@ -3,7 +3,8 @@ open Recalg_kernel
 exception Undefined_relation of string
 exception Recursive_definition of string
 
-let eval ?(fuel = Limits.default ()) ?(strategy = Delta.Seminaive) defs db expr =
+let eval ?(fuel = Limits.default ()) ?(strategy = Delta.Seminaive)
+    ?(join = Join.Fused) defs db expr =
   let builtins = Defs.builtins defs in
   let memo : (string, Value.t) Hashtbl.t = Hashtbl.create 8 in
   let rec eval_name visiting name =
@@ -31,10 +32,22 @@ let eval ?(fuel = Limits.default ()) ?(strategy = Delta.Seminaive) defs db expr 
     | Expr.Union (a, b) -> Value.union (go visiting env a) (go visiting env b)
     | Expr.Diff (a, b) -> Value.diff (go visiting env a) (go visiting env b)
     | Expr.Product (a, b) -> Value.product (go visiting env a) (go visiting env b)
-    | Expr.Select (p, a) ->
-      Value.filter
-        (fun v -> Pred.eval builtins p v = Some true)
-        (go visiting env a)
+    | Expr.Select (p, a) -> (
+      let fused =
+        match join, a with
+        | Join.Fused, Expr.Product (ea, eb) -> (
+          match Join.plan p with
+          | Some jp ->
+            Some (Join.exec builtins jp (go visiting env ea) (go visiting env eb))
+          | None -> None)
+        | (Join.Fused | Join.Unfused), _ -> None
+      in
+      match fused with
+      | Some v -> v
+      | None ->
+        Value.filter
+          (fun v -> Pred.eval builtins p v = Some true)
+          (go visiting env a))
     | Expr.Map (f, a) -> Value.filter_map_set (Efun.apply builtins f) (go visiting env a)
     | Expr.Ifp (x, body) ->
       let full s = go visiting ((x, s) :: env) body in
@@ -61,7 +74,7 @@ let eval ?(fuel = Limits.default ()) ?(strategy = Delta.Seminaive) defs db expr 
           else begin
             Limits.spend fuel ~what:"IFP iteration";
             let derived =
-              Delta.derive ~builtins
+              Delta.derive ~builtins ~join
                 ~eval:(fun e -> go visiting ((x, s) :: env) e)
                 ~deltas:[ (x, d) ]
                 body
@@ -75,4 +88,5 @@ let eval ?(fuel = Limits.default ()) ?(strategy = Delta.Seminaive) defs db expr 
   in
   go [] [] (Defs.inline defs expr)
 
-let eval_closed ?fuel ?strategy db expr = eval ?fuel ?strategy (Defs.make []) db expr
+let eval_closed ?fuel ?strategy ?join db expr =
+  eval ?fuel ?strategy ?join (Defs.make []) db expr

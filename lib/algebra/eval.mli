@@ -14,6 +14,7 @@ exception Recursive_definition of string
 val eval :
   ?fuel:Limits.fuel ->
   ?strategy:Delta.strategy ->
+  ?join:Join.mode ->
   Defs.t ->
   Db.t ->
   Expr.t ->
@@ -26,8 +27,18 @@ val eval :
     delta iteration where the fixpoint variable occurs delta-linearly
     (see {!Delta}), with per-subexpression fallback to full
     re-evaluation elsewhere. Both strategies compute byte-identical
-    results on identical rounds; [Naive] is the benchmark baseline. *)
+    results on identical rounds; [Naive] is the benchmark baseline.
+
+    [join] (default [Fused]) evaluates [Select (p, Product _)] nodes with
+    an extractable equi-key as hash joins (see {!Join}); [Unfused] always
+    materialises the product and filters. The two modes return
+    byte-identical values and spend identical fuel. *)
 
 val eval_closed :
-  ?fuel:Limits.fuel -> ?strategy:Delta.strategy -> Db.t -> Expr.t -> Value.t
+  ?fuel:Limits.fuel ->
+  ?strategy:Delta.strategy ->
+  ?join:Join.mode ->
+  Db.t ->
+  Expr.t ->
+  Value.t
 (** Evaluation with no definitions in scope. *)

@@ -31,6 +31,7 @@ type solution = {
   fuel : Limits.fuel;
   window : Value.t option;
   strategy : Delta.strategy;
+  join : Join.mode;
   rounds : int;
 }
 
@@ -39,8 +40,8 @@ type solution = {
    reading of subtraction: an element is certainly in [a - b] when it is
    certainly in [a] and not possibly in [b]; possibly in [a - b] when
    possibly in [a] and not certainly in [b]. *)
-let rec eval_vset builtins db lows highs fuel strategy env e =
-  let recur = eval_vset builtins db lows highs fuel strategy in
+let rec eval_vset builtins db lows highs fuel strategy join env e =
+  let recur = eval_vset builtins db lows highs fuel strategy join in
   match e with
   | Expr.Rel name -> (
     match List.assoc_opt name env with
@@ -61,10 +62,25 @@ let rec eval_vset builtins db lows highs fuel strategy env e =
   | Expr.Product (a, b) ->
     let sa = recur env a and sb = recur env b in
     { low = Value.product sa.low sb.low; high = Value.product sa.high sb.high }
-  | Expr.Select (p, a) ->
-    let sa = recur env a in
-    let keep v = Pred.eval builtins p v = Some true in
-    { low = Value.filter keep sa.low; high = Value.filter keep sa.high }
+  | Expr.Select (p, a) -> (
+    let fused =
+      match join, a with
+      | Join.Fused, Expr.Product (ea, eb) -> (
+        match Join.plan p with
+        | Some jp ->
+          let sa = recur env ea and sb = recur env eb in
+          Some
+            { low = Join.exec builtins jp sa.low sb.low;
+              high = Join.exec builtins jp sa.high sb.high }
+        | None -> None)
+      | (Join.Fused | Join.Unfused), _ -> None
+    in
+    match fused with
+    | Some s -> s
+    | None ->
+      let sa = recur env a in
+      let keep v = Pred.eval builtins p v = Some true in
+      { low = Value.filter keep sa.low; high = Value.filter keep sa.high })
   | Expr.Map (f, a) ->
     let sa = recur env a in
     let apply = Efun.apply builtins f in
@@ -96,7 +112,7 @@ let rec eval_vset builtins db lows highs fuel strategy env e =
         else begin
           Limits.spend fuel ~what:"Rec_eval: IFP iteration";
           let derive proj opp dval =
-            Delta.derive ~builtins
+            Delta.derive ~builtins ~join
               ~eval:(fun e -> proj (recur ((x, s) :: env) e))
               ~eval_diff_right:(fun e -> opp (recur ((x, s) :: env) e))
               ~deltas:[ (x, dval) ]
@@ -116,7 +132,8 @@ let clip window v =
   | None -> v
   | Some u -> Value.inter v u
 
-let solve ?(fuel = Limits.default ()) ?window ?(strategy = Delta.Seminaive) defs db =
+let solve ?(fuel = Limits.default ()) ?window ?(strategy = Delta.Seminaive)
+    ?(join = Join.Fused) defs db =
   let inlined = Defs.inline_all defs in
   let builtins = Defs.builtins inlined in
   let bodies = Defs.constant_bodies inlined in
@@ -155,7 +172,7 @@ let solve ?(fuel = Limits.default ()) ?window ?(strategy = Delta.Seminaive) defs
                 clip window (project (eval_bounds current b))
               else
                 let derived =
-                  Delta.derive ~builtins
+                  Delta.derive ~builtins ~join
                     ~eval:(fun e -> project (eval_bounds current e))
                     ~eval_diff_right:(fun e -> opposite (eval_bounds current e))
                     ~deltas b
@@ -177,7 +194,7 @@ let solve ?(fuel = Limits.default ()) ?window ?(strategy = Delta.Seminaive) defs
     let highs =
       phase_lfp
         ~eval_bounds:(fun highs_cur e ->
-          eval_vset builtins db lows_prev highs_cur fuel strategy [] e)
+          eval_vset builtins db lows_prev highs_cur fuel strategy join [] e)
         ~project:(fun s -> s.high)
         ~opposite:(fun s -> s.low)
     in
@@ -185,12 +202,12 @@ let solve ?(fuel = Limits.default ()) ?window ?(strategy = Delta.Seminaive) defs
     let lows =
       phase_lfp
         ~eval_bounds:(fun lows_cur e ->
-          eval_vset builtins db lows_cur highs fuel strategy [] e)
+          eval_vset builtins db lows_cur highs fuel strategy join [] e)
         ~project:(fun s -> s.low)
         ~opposite:(fun s -> s.high)
     in
     if Smap.equal Value.equal lows lows_prev then
-      { lows; highs; defs = inlined; db; fuel; window; strategy; rounds }
+      { lows; highs; defs = inlined; db; fuel; window; strategy; join; rounds }
     else outer lows (rounds + 1)
   in
   outer empty_map 1
@@ -202,14 +219,14 @@ let constant sol name =
 
 let rounds sol = sol.rounds
 
-let eval ?fuel ?window ?strategy defs db expr =
-  let sol = solve ?fuel ?window ?strategy defs db in
+let eval ?fuel ?window ?strategy ?join defs db expr =
+  let sol = solve ?fuel ?window ?strategy ?join defs db in
   let inlined_expr = Defs.inline sol.defs (Defs.inline defs expr) in
-  eval_vset (Defs.builtins sol.defs) sol.db sol.lows sol.highs sol.fuel sol.strategy []
-    inlined_expr
+  eval_vset (Defs.builtins sol.defs) sol.db sol.lows sol.highs sol.fuel sol.strategy
+    sol.join [] inlined_expr
 
-let well_defined ?fuel ?window ?strategy defs db =
-  let sol = solve ?fuel ?window ?strategy defs db in
+let well_defined ?fuel ?window ?strategy ?join defs db =
+  let sol = solve ?fuel ?window ?strategy ?join defs db in
   List.for_all
     (fun name -> is_defined (constant sol name))
     (Defs.constant_names sol.defs)

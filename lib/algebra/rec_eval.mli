@@ -42,6 +42,7 @@ val solve :
   ?fuel:Limits.fuel ->
   ?window:Value.t ->
   ?strategy:Delta.strategy ->
+  ?join:Join.mode ->
   Defs.t ->
   Db.t ->
   solution
@@ -59,7 +60,12 @@ val solve :
     body's defined constants occur delta-linearly, falling back to full
     recomputation otherwise (and for nested [IFP]s likewise, per bound).
     Both strategies visit byte-identical bounds on identical iterations;
-    [Naive] is the benchmark baseline. *)
+    [Naive] is the benchmark baseline.
+
+    [join] (default [Fused]) evaluates [Select (p, Product _)] nodes with
+    an extractable equi-key as hash joins, on both bounds independently
+    (see {!Join}); [Unfused] materialises products and filters. Both
+    modes compute byte-identical bounds and spend identical fuel. *)
 
 val constant : solution -> string -> vset
 (** Raises {!Undefined_relation} for an unknown name. *)
@@ -71,6 +77,7 @@ val eval :
   ?fuel:Limits.fuel ->
   ?window:Value.t ->
   ?strategy:Delta.strategy ->
+  ?join:Join.mode ->
   Defs.t ->
   Db.t ->
   Expr.t ->
@@ -81,6 +88,7 @@ val well_defined :
   ?fuel:Limits.fuel ->
   ?window:Value.t ->
   ?strategy:Delta.strategy ->
+  ?join:Join.mode ->
   Defs.t ->
   Db.t ->
   bool

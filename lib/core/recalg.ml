@@ -54,6 +54,7 @@ module Algebra = struct
   module Defs = Recalg_algebra.Defs
   module Db = Recalg_algebra.Db
   module Delta = Recalg_algebra.Delta
+  module Join = Recalg_algebra.Join
   module Eval = Recalg_algebra.Eval
   module Rec_eval = Recalg_algebra.Rec_eval
   module Positivity = Recalg_algebra.Positivity

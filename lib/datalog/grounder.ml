@@ -8,13 +8,56 @@ module Tuples = Set.Make (struct
   let compare = List.compare Value.compare
 end)
 
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+(* [full] and [delta] are disjoint: [discover] refuses tuples already in
+   either, and [promote] only moves tuples between the sections. Probing
+   both therefore enumerates exactly [full ∪ delta], without building the
+   union set. *)
 type store = {
   mutable full : Tuples.t;  (* envelope facts from earlier rounds *)
   mutable delta : Tuples.t; (* facts new in the current round *)
   mutable next : Tuples.t;  (* facts discovered during this round *)
+  indexes : (int * int, Tuples.t Vtbl.t) Hashtbl.t;
+      (* (section, argument position) -> value at that position -> tuples
+         of the section. Sections: 0 = full, 1 = delta. Built lazily on
+         first probe, discarded by [promote] when the sections change. *)
 }
 
-let fresh_store () = { full = Tuples.empty; delta = Tuples.empty; next = Tuples.empty }
+let fresh_store () =
+  { full = Tuples.empty;
+    delta = Tuples.empty;
+    next = Tuples.empty;
+    indexes = Hashtbl.create 8 }
+
+let section_full = 0
+let section_delta = 1
+
+let section_tuples s section =
+  if section = section_full then s.full else s.delta
+
+let index_of s section pos =
+  match Hashtbl.find_opt s.indexes (section, pos) with
+  | Some idx -> idx
+  | None ->
+    let idx = Vtbl.create 64 in
+    Tuples.iter
+      (fun tup ->
+        match List.nth_opt tup pos with
+        | Some key ->
+          let bucket =
+            Option.value (Vtbl.find_opt idx key) ~default:Tuples.empty
+          in
+          Vtbl.replace idx key (Tuples.add tup bucket)
+        | None -> ())
+      (section_tuples s section);
+    Hashtbl.add s.indexes (section, pos) idx;
+    idx
 
 type state = {
   program : Program.t;
@@ -68,27 +111,49 @@ let rec solve st body idx delta_pos subst k =
   | [] -> k subst
   | Literal.Pos a :: rest ->
     let s = store_of st a.Literal.pred in
-    let tuples =
+    let sections =
       match delta_pos with
-      | Some d when d = idx -> s.delta
-      | Some d when d > idx -> s.full
-      | Some _ | None -> Tuples.union s.full s.delta
+      | Some d when d = idx -> [ section_delta ]
+      | Some d when d > idx -> [ section_full ]
+      | Some _ | None -> [ section_full; section_delta ]
     in
-    Tuples.iter
-      (fun tup ->
-        let rec match_args subst args vals =
-          match args, vals with
-          | [], [] -> Some subst
-          | t :: args', v :: vals' -> (
-            match Dterm.match_value builtins t v subst with
-            | Some subst' -> match_args subst' args' vals'
-            | None -> None)
-          | _, _ -> None
-        in
-        match match_args subst a.Literal.args tup with
-        | Some subst' -> solve st rest (idx + 1) delta_pos subst' k
-        | None -> ())
-      tuples
+    (* The first argument position fully evaluable under the current
+       substitution keys an index probe; a literal with no bound argument
+       falls back to scanning the section. *)
+    let key =
+      let rec find i args =
+        match args with
+        | [] -> None
+        | t :: args' -> (
+          match Dterm.eval builtins subst t with
+          | Some v -> Some (i, v)
+          | None -> find (i + 1) args')
+      in
+      find 0 a.Literal.args
+    in
+    let try_tuple tup =
+      let rec match_args subst args vals =
+        match args, vals with
+        | [], [] -> Some subst
+        | t :: args', v :: vals' -> (
+          match Dterm.match_value builtins t v subst with
+          | Some subst' -> match_args subst' args' vals'
+          | None -> None)
+        | _, _ -> None
+      in
+      match match_args subst a.Literal.args tup with
+      | Some subst' -> solve st rest (idx + 1) delta_pos subst' k
+      | None -> ()
+    in
+    List.iter
+      (fun section ->
+        match key with
+        | Some (pos, v) -> (
+          match Vtbl.find_opt (index_of s section pos) v with
+          | Some bucket -> Tuples.iter try_tuple bucket
+          | None -> ())
+        | None -> Tuples.iter try_tuple (section_tuples s section))
+      sections
   | Literal.Neg _ :: rest ->
     (* Recorded later from the complete substitution; never filters. *)
     solve st rest (idx + 1) delta_pos subst k
@@ -169,7 +234,8 @@ let ground ?(fuel = Limits.default ()) ?(strategy = `Seminaive) program edb =
       (fun _ s ->
         s.full <- Tuples.union s.full s.delta;
         s.delta <- s.next;
-        s.next <- Tuples.empty)
+        s.next <- Tuples.empty;
+        Hashtbl.reset s.indexes)
       st.stores
   in
   let delta_nonempty () =

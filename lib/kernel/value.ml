@@ -138,8 +138,11 @@ let diff a b =
 let product a b =
   let xs = as_elements "Value.product" a
   and ys = as_elements "Value.product" b in
-  let pairs = List.concat_map (fun x -> List.map (fun y -> pair x y) ys) xs in
-  canon pairs
+  (* Tuple comparison is lexicographic, so with both inputs strictly
+     sorted the blocks (one per left element, each ordered by the right
+     element) concatenate into a strictly sorted, duplicate-free list —
+     no re-canonicalisation pass needed. *)
+  Set (List.concat_map (fun x -> List.map (fun y -> pair x y) ys) xs)
 
 let subset a b =
   let rec go xs ys =
@@ -161,7 +164,23 @@ let map_set f v = canon (List.map f (as_elements "Value.map_set" v))
 let filter_map_set f v =
   canon (List.filter_map f (as_elements "Value.filter_map_set" v))
 
-let union_all vs = List.fold_left union empty_set vs
+let union_all vs =
+  (* Balanced divide-and-conquer: a left fold re-merges the growing
+     accumulator against every element, O(n * total); pairing neighbours
+     halves the list each round for O(total * log n). *)
+  let rec pairup vs =
+    match vs with
+    | [] -> []
+    | [ v ] -> [ v ]
+    | a :: b :: rest -> union a b :: pairup rest
+  in
+  let rec go vs =
+    match vs with
+    | [] -> empty_set
+    | [ v ] -> union v empty_set (* validates a lone non-set argument *)
+    | vs -> go (pairup vs)
+  in
+  go vs
 
 let proj i v =
   match v with

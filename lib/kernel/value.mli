@@ -59,7 +59,9 @@ val union : t -> t -> t
 val inter : t -> t -> t
 val diff : t -> t -> t
 val product : t -> t -> t
-(** [product a b] is the set of [pair x y] for [x] in [a], [y] in [b]. *)
+(** [product a b] is the set of [pair x y] for [x] in [a], [y] in [b].
+    Built in one pass: tuple comparison is lexicographic, so the pairs of
+    two canonical sets are already strictly sorted. *)
 
 val subset : t -> t -> bool
 val add : t -> t -> t
@@ -69,7 +71,10 @@ val map_set : (t -> t) -> t -> t
     semantics of the algebra's [MAP] operator on total element functions. *)
 
 val filter_map_set : (t -> t option) -> t -> t
+
 val union_all : t list -> t
+(** n-way union by balanced pairwise merging, [O(total * log n)] rather
+    than the [O(n * total)] of a left fold. *)
 
 (** {1 Tuple helpers} *)
 

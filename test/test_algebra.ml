@@ -488,6 +488,144 @@ let prop_seminaive_rec_eval_equals_naive =
       | Error `Diverged, Error `Diverged -> true
       | _ -> false)
 
+(* --- Join planning (select∘product fusion) --- *)
+
+let test_join_plan_compose () =
+  (* The composition idiom sigma_{pi2(pi1) = pi1(pi2)}(a x b) must plan
+     as a residual-free equi-join on pi2 of the left vs pi1 of the
+     right. *)
+  let p =
+    Pred.Eq
+      ( Efun.Compose (Efun.Proj 2, Efun.Proj 1),
+        Efun.Compose (Efun.Proj 1, Efun.Proj 2) )
+  in
+  match Join.plan p with
+  | Some { Join.left_key; right_key; residual } ->
+    Alcotest.(check bool) "left key = pi2" true (left_key = Efun.Proj 2);
+    Alcotest.(check bool) "right key = pi1" true (right_key = Efun.Proj 1);
+    Alcotest.(check int) "no residual" 0 (List.length residual)
+  | None -> Alcotest.fail "compose predicate must plan"
+
+let test_join_plan_residual () =
+  let key =
+    Pred.Eq
+      ( Efun.Compose (Efun.Proj 1, Efun.Proj 1),
+        Efun.Compose (Efun.Proj 1, Efun.Proj 2) )
+  in
+  let extra =
+    Pred.Lt (Efun.Compose (Efun.Proj 2, Efun.Proj 1), Efun.Const (vi 10))
+  in
+  (match Join.plan (Pred.And (key, extra)) with
+  | Some { Join.residual; _ } ->
+    Alcotest.(check int) "non-key conjunct kept as residual" 1
+      (List.length residual)
+  | None -> Alcotest.fail "conjunction with an equi-key must plan");
+  (* Two key conjuncts combine into a composite (tuple-valued) key and
+     still leave no residual. *)
+  let key2 =
+    Pred.Eq
+      ( Efun.Compose (Efun.Proj 2, Efun.Proj 1),
+        Efun.Compose (Efun.Proj 2, Efun.Proj 2) )
+  in
+  match Join.plan (Pred.And (key, key2)) with
+  | Some { Join.residual; _ } ->
+    Alcotest.(check int) "composite key, no residual" 0 (List.length residual)
+  | None -> Alcotest.fail "two equi-keys must plan"
+
+let test_join_plan_none () =
+  Alcotest.(check bool) "Lt alone doesn't plan" true
+    (Join.plan (Pred.Lt (Efun.Proj 1, Efun.Proj 2)) = None);
+  (* An equality whose both sides factor through the same component is
+     not an equi-join key. *)
+  Alcotest.(check bool) "same-side Eq doesn't plan" true
+    (Join.plan
+       (Pred.Eq
+          ( Efun.Compose (Efun.Proj 1, Efun.Proj 1),
+            Efun.Compose (Efun.Proj 2, Efun.Proj 1) ))
+    = None)
+
+let test_join_exec_matches_filter () =
+  let rel pairs =
+    Value.set (List.map (fun (x, y) -> Value.pair (vi x) (vi y)) pairs)
+  in
+  let a = rel [ (1, 2); (2, 3); (3, 3) ]
+  and b = rel [ (2, 5); (3, 6); (9, 9) ] in
+  let p =
+    Pred.Eq
+      ( Efun.Compose (Efun.Proj 2, Efun.Proj 1),
+        Efun.Compose (Efun.Proj 1, Efun.Proj 2) )
+  in
+  let builtins = Builtins.default in
+  let plan = Option.get (Join.plan p) in
+  let unfused =
+    Value.filter (fun v -> Pred.eval builtins p v = Some true) (Value.product a b)
+  in
+  Alcotest.check check_value "hash join = product-then-filter" unfused
+    (Join.exec builtins plan a b)
+
+let prop_fused_eval_equals_unfused =
+  (* The planner-equivalence property behind experiment E6: on random
+     recursive bodies — including shapes the planner cannot fuse — hash
+     join evaluation returns byte-identical sets and spends identical
+     fuel, under both IFP strategies. *)
+  QCheck.Test.make ~name:"fused eval = unfused eval (value and fuel)" ~count:200
+    QCheck.(pair Tgen.ifp_body_arb Tgen.graph_arb)
+    (fun (body, edges) ->
+      let db =
+        Db.of_list
+          [ ("edge", List.map (fun (a, b) -> Value.pair (vs a) (vs b)) edges) ]
+      in
+      let e = Expr.ifp "x" body in
+      let run strategy join =
+        let fuel = Limits.of_int 400 in
+        try Ok (Eval.eval ~fuel ~strategy ~join no_defs db e, Limits.remaining fuel)
+        with Limits.Diverged _ -> Error `Diverged
+      in
+      List.for_all
+        (fun strategy ->
+          match (run strategy Join.Fused, run strategy Join.Unfused) with
+          | Ok (v1, f1), Ok (v2, f2) -> Value.equal v1 v2 && f1 = f2
+          | Error `Diverged, Error `Diverged -> true
+          | _ -> false)
+        [ Delta.Naive; Delta.Seminaive ])
+
+let prop_fused_rec_eval_equals_unfused =
+  (* Same equivalence for the three-valued alternating fixpoint: both
+     bounds of every constant, and the fuel spent, must agree. *)
+  QCheck.Test.make ~name:"fused rec_eval = unfused (bounds and fuel)" ~count:100
+    QCheck.(triple Tgen.ifp_body_arb Tgen.ifp_body_arb Tgen.graph_arb)
+    (fun (b1, b2, edges) ->
+      let db =
+        Db.of_list
+          [ ("edge", List.map (fun (a, b) -> Value.pair (vs a) (vs b)) edges) ]
+      in
+      let subst to_ e =
+        Expr.map_rels (fun n -> Expr.rel (if n = "x" then to_ else n)) e
+      in
+      let defs =
+        Defs.make
+          [ Defs.constant "c" (subst "d" b1); Defs.constant "d" (subst "c" b2) ]
+      in
+      let run join =
+        let fuel = Limits.of_int 5000 in
+        try
+          let sol = Rec_eval.solve ~fuel ~join defs db in
+          Ok
+            ( Rec_eval.constant sol "c",
+              Rec_eval.constant sol "d",
+              Limits.remaining fuel )
+        with Limits.Diverged _ -> Error `Diverged
+      in
+      match (run Join.Fused, run Join.Unfused) with
+      | Ok (c1, d1, f1), Ok (c2, d2, f2) ->
+        Value.equal c1.Rec_eval.low c2.Rec_eval.low
+        && Value.equal c1.Rec_eval.high c2.Rec_eval.high
+        && Value.equal d1.Rec_eval.low d2.Rec_eval.low
+        && Value.equal d1.Rec_eval.high d2.Rec_eval.high
+        && f1 = f2
+      | Error `Diverged, Error `Diverged -> true
+      | _ -> false)
+
 let suite =
   suite
   @ [
@@ -496,4 +634,12 @@ let suite =
         test_seminaive_mixture_body;
       QCheck_alcotest.to_alcotest prop_seminaive_ifp_equals_naive;
       QCheck_alcotest.to_alcotest prop_seminaive_rec_eval_equals_naive;
+      Alcotest.test_case "join plan: compose idiom" `Quick test_join_plan_compose;
+      Alcotest.test_case "join plan: residual and composite keys" `Quick
+        test_join_plan_residual;
+      Alcotest.test_case "join plan: fallback cases" `Quick test_join_plan_none;
+      Alcotest.test_case "join exec = filter∘product" `Quick
+        test_join_exec_matches_filter;
+      QCheck_alcotest.to_alcotest prop_fused_eval_equals_unfused;
+      QCheck_alcotest.to_alcotest prop_fused_rec_eval_equals_unfused;
     ]

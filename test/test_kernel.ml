@@ -40,6 +40,38 @@ let test_product () =
   Alcotest.check check_value "product with empty" Value.empty_set
     (Value.product a Value.empty_set)
 
+let test_product_canonical () =
+  (* [product] builds its result directly (no re-sort pass); assert the
+     representation is nevertheless canonical: strictly sorted and equal
+     to what [Value.set] would build from the same pairs. *)
+  let a = vset [ vi 2; vi 1; vi 3 ]
+  and b = vset [ Value.str "y"; Value.str "x" ] in
+  let p = Value.product a b in
+  let strictly_sorted xs =
+    let rec go xs =
+      match xs with
+      | [] | [ _ ] -> true
+      | x :: (y :: _ as rest) -> Value.compare x y < 0 && go rest
+    in
+    go xs
+  in
+  Alcotest.(check bool) "strictly sorted" true (strictly_sorted (Value.elements p));
+  Alcotest.check check_value "equals canonicalised pairs"
+    (Value.set (Value.elements p))
+    p
+
+let test_union_all () =
+  let sets = List.init 9 (fun i -> vset [ vi i; vi (i + 1); vi 100 ]) in
+  let expected = List.fold_left Value.union Value.empty_set sets in
+  Alcotest.check check_value "balanced merge equals fold" expected
+    (Value.union_all sets);
+  Alcotest.check check_value "empty list" Value.empty_set (Value.union_all []);
+  Alcotest.check check_value "singleton list" (vset [ vi 7 ])
+    (Value.union_all [ vset [ vi 7 ] ]);
+  Alcotest.check_raises "non-set rejected"
+    (Invalid_argument "Value.union: expected a set value") (fun () ->
+      ignore (Value.union_all [ vi 1 ]))
+
 let test_mem_subset () =
   let a = vset [ vi 1; vi 2 ] in
   Alcotest.(check bool) "mem yes" true (Value.mem (vi 1) a);
@@ -108,6 +140,20 @@ let prop_product_cardinality =
     QCheck.(pair Tgen.small_set_arb Tgen.small_set_arb)
     (fun (a, b) ->
       Value.cardinal (Value.product a b) = Value.cardinal a * Value.cardinal b)
+
+let prop_product_canonical =
+  QCheck.Test.make ~name:"product result is canonical" ~count:200
+    QCheck.(pair Tgen.small_set_arb Tgen.small_set_arb)
+    (fun (a, b) ->
+      let p = Value.product a b in
+      Value.equal p (Value.set (Value.elements p)))
+
+let prop_union_all_fold =
+  QCheck.Test.make ~name:"union_all = fold union" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 8) Tgen.small_set_arb)
+    (fun sets ->
+      Value.equal (Value.union_all sets)
+        (List.fold_left Value.union Value.empty_set sets))
 
 let prop_mem_union =
   QCheck.Test.make ~name:"mem distributes over union" ~count:200
@@ -277,6 +323,8 @@ let suite =
     Alcotest.test_case "set nested" `Quick test_set_nested;
     Alcotest.test_case "union/inter/diff" `Quick test_union_inter_diff;
     Alcotest.test_case "product" `Quick test_product;
+    Alcotest.test_case "product canonical" `Quick test_product_canonical;
+    Alcotest.test_case "union_all" `Quick test_union_all;
     Alcotest.test_case "mem/subset" `Quick test_mem_subset;
     Alcotest.test_case "proj" `Quick test_proj;
     Alcotest.test_case "compare total order" `Quick test_compare_total_order;
@@ -300,6 +348,8 @@ let suite =
     QCheck_alcotest.to_alcotest prop_diff_inter_demorgan;
     QCheck_alcotest.to_alcotest prop_diff_empty;
     QCheck_alcotest.to_alcotest prop_product_cardinality;
+    QCheck_alcotest.to_alcotest prop_product_canonical;
+    QCheck_alcotest.to_alcotest prop_union_all_fold;
     QCheck_alcotest.to_alcotest prop_mem_union;
     QCheck_alcotest.to_alcotest prop_kleene_monotone;
   ]
