@@ -40,6 +40,17 @@ let pp_interp interp =
 
 let fuel_of n = Limits.of_int n
 
+let stats_flag =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print hash-consing statistics (live nodes, table occupancy, \
+           hit/miss counts) to stderr after evaluation.")
+
+let report_stats enabled =
+  if enabled then Fmt.epr "%a@." Value.Stats.pp (Value.Stats.snapshot ())
+
 let run_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.dl") in
   let semantics =
@@ -52,8 +63,9 @@ let run_cmd =
   let fuel =
     Arg.(value & opt int 1_000_000 & info [ "fuel" ] ~doc:"Evaluation step budget.")
   in
-  let run file semantics fuel =
+  let run file semantics fuel stats =
     let program, edb = load file in
+    Fun.protect ~finally:(fun () -> report_stats stats) @@ fun () ->
     match semantics with
     | `Valid -> pp_interp (Datalog.Run.valid ~fuel:(fuel_of fuel) program edb)
     | `Wf -> pp_interp (Datalog.Run.wellfounded ~fuel:(fuel_of fuel) program edb)
@@ -75,7 +87,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Evaluate a deductive program under a chosen semantics.")
-    Term.(const run $ file $ semantics $ fuel)
+    Term.(const run $ file $ semantics $ fuel $ stats_flag)
 
 let check_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.dl") in
@@ -119,7 +131,8 @@ let alg_cmd =
   let fuel =
     Arg.(value & opt int 1_000_000 & info [ "fuel" ] ~doc:"Evaluation step budget.")
   in
-  let alg file window fuel =
+  let alg file window fuel stats =
+    Fun.protect ~finally:(fun () -> report_stats stats) @@ fun () ->
     match Algebra.Parser.parse_program (read_file file) with
     | Error msg ->
       Fmt.epr "parse error in %s: %s@." file msg;
@@ -153,7 +166,7 @@ let alg_cmd =
   Cmd.v
     (Cmd.info "alg"
        ~doc:"Evaluate an algebra= program under the valid semantics.")
-    Term.(const alg $ file $ window $ fuel)
+    Term.(const alg $ file $ window $ fuel $ stats_flag)
 
 let query_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.dl") in
@@ -161,8 +174,9 @@ let query_cmd =
     Arg.(required & pos 1 (some string) None
          & info [] ~docv:"GOAL" ~doc:"e.g. 'win(X)' or 'win(a)'.")
   in
-  let query file goal =
+  let query file goal stats =
     let program, edb = load file in
+    Fun.protect ~finally:(fun () -> report_stats stats) @@ fun () ->
     (* A goal is one bodyless rule's head. *)
     match Datalog.Parser.parse_rule (goal ^ ".") with
     | Error msg ->
@@ -189,7 +203,7 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Answer a goal R(x)? under the valid semantics.")
-    Term.(const query $ file $ goal)
+    Term.(const query $ file $ goal $ stats_flag)
 
 let () =
   let doc = "algebras with recursion under the valid semantics" in

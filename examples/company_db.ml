@@ -54,7 +54,10 @@ let () =
     List.filter_map
       (fun args ->
         match args with
-        | [ Value.Sym p ] -> Some p
+        | [ v ] -> (
+          match Value.node v with
+          | Value.Sym p -> Some p
+          | _ -> None)
         | _ -> None)
       (Datalog.Edb.tuples result pred)
   in
@@ -65,7 +68,10 @@ let () =
     (List.filter_map
        (fun args ->
          match args with
-         | [ Value.Sym "ana"; who ] -> Some who
+         | [ v; who ] -> (
+           match Value.node v with
+           | Value.Sym "ana" -> Some who
+           | _ -> None)
          | _ -> None)
        (Datalog.Edb.tuples result "above"));
   Fmt.pr "levels: %a@."

@@ -72,7 +72,7 @@ let () =
   let edb =
     List.fold_left
       (fun e t ->
-        match t with
+        match Value.node t with
         | Value.Tuple [ name; members ] -> Datalog.Edb.add "teams" [ name; members ] e
         | _ -> e)
       (Datalog.Edb.add "oncall" [ Value.sym "bob" ] edb)

@@ -47,7 +47,10 @@ let report name edges =
         List.filter_map
           (fun args ->
             match args with
-            | [ Value.Sym p ] -> Some p
+            | [ v ] -> (
+              match Value.node v with
+              | Value.Sym p -> Some p
+              | _ -> None)
             | _ -> None)
           (Datalog.Interp.true_tuples m "win")
       in

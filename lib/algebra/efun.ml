@@ -35,7 +35,7 @@ let rec apply builtins f v =
     in
     go [] fs
   | Arg (name, i) -> (
-    match v with
+    match Value.node v with
     | Value.Cstr (g, args) when String.equal name g -> List.nth_opt args (i - 1)
     | Value.Cstr _ | Value.Int _ | Value.Str _ | Value.Bool _ | Value.Sym _
     | Value.Tuple _ | Value.Set _ ->

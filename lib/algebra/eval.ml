@@ -3,8 +3,17 @@ open Recalg_kernel
 exception Undefined_relation of string
 exception Recursive_definition of string
 
+(* [?hashcons] scopes a Value.Hashcons mode over one evaluation — the
+   ablation/escape hatch mirroring [~strategy] and [~join]; [None] leaves
+   the ambient mode untouched. *)
+let scoped hashcons f =
+  match hashcons with
+  | None -> f ()
+  | Some mode -> Value.Hashcons.with_mode mode f
+
 let eval ?(fuel = Limits.default ()) ?(strategy = Delta.Seminaive)
-    ?(join = Join.Fused) defs db expr =
+    ?(join = Join.Fused) ?hashcons defs db expr =
+  scoped hashcons @@ fun () ->
   let builtins = Defs.builtins defs in
   let memo : (string, Value.t) Hashtbl.t = Hashtbl.create 8 in
   let rec eval_name visiting name =
@@ -88,5 +97,5 @@ let eval ?(fuel = Limits.default ()) ?(strategy = Delta.Seminaive)
   in
   go [] [] (Defs.inline defs expr)
 
-let eval_closed ?fuel ?strategy ?join db expr =
-  eval ?fuel ?strategy ?join (Defs.make []) db expr
+let eval_closed ?fuel ?strategy ?join ?hashcons db expr =
+  eval ?fuel ?strategy ?join ?hashcons (Defs.make []) db expr

@@ -15,6 +15,7 @@ val eval :
   ?fuel:Limits.fuel ->
   ?strategy:Delta.strategy ->
   ?join:Join.mode ->
+  ?hashcons:Value.Hashcons.mode ->
   Defs.t ->
   Db.t ->
   Expr.t ->
@@ -32,12 +33,18 @@ val eval :
     [join] (default [Fused]) evaluates [Select (p, Product _)] nodes with
     an extractable equi-key as hash joins (see {!Join}); [Unfused] always
     materialises the product and filters. The two modes return
-    byte-identical values and spend identical fuel. *)
+    byte-identical values and spend identical fuel.
+
+    [hashcons] scopes {!Value.Hashcons.with_mode} over the evaluation —
+    [Off] is the structural-equality ablation baseline; omitted, the
+    ambient mode is left untouched. Either mode returns byte-identical
+    values and spends identical fuel. *)
 
 val eval_closed :
   ?fuel:Limits.fuel ->
   ?strategy:Delta.strategy ->
   ?join:Join.mode ->
+  ?hashcons:Value.Hashcons.mode ->
   Db.t ->
   Expr.t ->
   Value.t

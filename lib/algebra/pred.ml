@@ -20,7 +20,7 @@ let compare2 builtins f g v k =
 
 let int_compare2 builtins f g v op =
   compare2 builtins f g v (fun a b ->
-      match a, b with
+      match Value.node a, Value.node b with
       | Value.Int x, Value.Int y -> Some (op x y)
       | _, _ -> None)
 
@@ -37,7 +37,7 @@ let rec eval builtins p v =
     | None -> None
     | Some w ->
       Some
-        (match w with
+        (match Value.node w with
         | Value.Cstr (g, args) -> String.equal name g && List.length args = arity
         | Value.Int _ | Value.Str _ | Value.Bool _ | Value.Sym _ | Value.Tuple _
         | Value.Set _ ->

@@ -1,7 +1,7 @@
 open Recalg_kernel
 
 let rec value ppf v =
-  match v with
+  match Value.node v with
   | Value.Int k -> Fmt.int ppf k
   | Value.Sym s -> Fmt.string ppf s
   | Value.Tuple vs -> Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any ", ") value) vs

@@ -132,8 +132,17 @@ let clip window v =
   | None -> v
   | Some u -> Value.inter v u
 
+(* [?hashcons] scopes a Value.Hashcons mode over one solve/eval — the
+   ablation/escape hatch mirroring [~strategy] and [~join]; [None] leaves
+   the ambient mode untouched. *)
+let scoped hashcons f =
+  match hashcons with
+  | None -> f ()
+  | Some mode -> Value.Hashcons.with_mode mode f
+
 let solve ?(fuel = Limits.default ()) ?window ?(strategy = Delta.Seminaive)
-    ?(join = Join.Fused) defs db =
+    ?(join = Join.Fused) ?hashcons defs db =
+  scoped hashcons @@ fun () ->
   let inlined = Defs.inline_all defs in
   let builtins = Defs.builtins inlined in
   let bodies = Defs.constant_bodies inlined in
@@ -219,13 +228,15 @@ let constant sol name =
 
 let rounds sol = sol.rounds
 
-let eval ?fuel ?window ?strategy ?join defs db expr =
+let eval ?fuel ?window ?strategy ?join ?hashcons defs db expr =
+  scoped hashcons @@ fun () ->
   let sol = solve ?fuel ?window ?strategy ?join defs db in
   let inlined_expr = Defs.inline sol.defs (Defs.inline defs expr) in
   eval_vset (Defs.builtins sol.defs) sol.db sol.lows sol.highs sol.fuel sol.strategy
     sol.join [] inlined_expr
 
-let well_defined ?fuel ?window ?strategy ?join defs db =
+let well_defined ?fuel ?window ?strategy ?join ?hashcons defs db =
+  scoped hashcons @@ fun () ->
   let sol = solve ?fuel ?window ?strategy ?join defs db in
   List.for_all
     (fun name -> is_defined (constant sol name))

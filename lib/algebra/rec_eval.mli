@@ -43,6 +43,7 @@ val solve :
   ?window:Value.t ->
   ?strategy:Delta.strategy ->
   ?join:Join.mode ->
+  ?hashcons:Value.Hashcons.mode ->
   Defs.t ->
   Db.t ->
   solution
@@ -65,7 +66,12 @@ val solve :
     [join] (default [Fused]) evaluates [Select (p, Product _)] nodes with
     an extractable equi-key as hash joins, on both bounds independently
     (see {!Join}); [Unfused] materialises products and filters. Both
-    modes compute byte-identical bounds and spend identical fuel. *)
+    modes compute byte-identical bounds and spend identical fuel.
+
+    [hashcons] scopes {!Value.Hashcons.with_mode} over the computation —
+    [Off] is the structural-equality ablation baseline; omitted, the
+    ambient mode is left untouched. Either mode computes byte-identical
+    bounds and spends identical fuel. *)
 
 val constant : solution -> string -> vset
 (** Raises {!Undefined_relation} for an unknown name. *)
@@ -78,6 +84,7 @@ val eval :
   ?window:Value.t ->
   ?strategy:Delta.strategy ->
   ?join:Join.mode ->
+  ?hashcons:Value.Hashcons.mode ->
   Defs.t ->
   Db.t ->
   Expr.t ->
@@ -89,6 +96,7 @@ val well_defined :
   ?window:Value.t ->
   ?strategy:Delta.strategy ->
   ?join:Join.mode ->
+  ?hashcons:Value.Hashcons.mode ->
   Defs.t ->
   Db.t ->
   bool

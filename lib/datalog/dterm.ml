@@ -80,7 +80,7 @@ let rec match_value builtins t v subst =
       | Some _ | None -> None
     else (
       (* Free constructor: destructure. *)
-      match v with
+      match Value.node v with
       | Value.Cstr (g, vs) when String.equal f g && List.length vs = List.length args ->
         let rec go subst args vs =
           match args, vs with

@@ -200,15 +200,20 @@ let instantiate_rule st (r : Rule.t) ordered_body ~delta_pos =
         emit_rule st ~head ~pos:(List.rev pos_ids) ~neg:(List.rev neg_ids)
       | None -> ())
 
-let ground ?(fuel = Limits.default ()) ?(strategy = `Seminaive) program edb =
+let ground ?(fuel = Limits.default ()) ?(strategy = `Seminaive) ?hashcons
+    program edb =
+  (* Scope the hash-consing mode over the whole grounding — the
+     ablation/escape hatch mirroring [~strategy]. *)
+  (match hashcons with
+  | None -> fun f -> f ()
+  | Some mode -> Value.Hashcons.with_mode mode)
+  @@ fun () ->
   let st =
     {
       program;
       fuel;
       atoms =
-        Interner.create ~hash:Hashtbl.hash
-          ~equal:(fun (p, a) (q, b) -> String.equal p q && List.equal Value.equal a b)
-          ();
+        Interner.create ~hash:Propgm.fact_hash ~equal:Propgm.fact_equal ();
       stores = Hashtbl.create 16;
       seen_rules = Hashtbl.create 256;
       ground_rules = [];

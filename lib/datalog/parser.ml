@@ -159,7 +159,10 @@ let parse_literal_s s =
     | _ -> (
       match t with
       | Dterm.App (p, args) -> Literal.Pos (Literal.atom p args)
-      | Dterm.Cst (Value.Sym p) -> Literal.Pos (Literal.atom p [])
+      | Dterm.Cst v -> (
+        match Value.node v with
+        | Value.Sym p -> Literal.Pos (Literal.atom p [])
+        | _ -> error "expected an atom or an (in)equality")
       | _ -> error "expected an atom or an (in)equality"))
 
 let rec parse_literals_s s =

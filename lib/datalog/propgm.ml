@@ -1,6 +1,10 @@
 open Recalg_kernel
 
 type fact = string * Value.t list
+
+let fact_equal (p, a) (q, b) = String.equal p q && List.equal Value.equal a b
+let fact_hash (p, args) = List.fold_left Value.hash_fold (Hashtbl.hash p) args
+
 type rule = { head : int; pos : int array; neg : int array }
 type t = { atoms : fact Interner.t; rules : rule array }
 

@@ -8,6 +8,12 @@ open Recalg_kernel
 
 type fact = string * Value.t list
 
+val fact_equal : fact -> fact -> bool
+
+val fact_hash : fact -> int
+(** Folds the arguments' memoized {!Value.hash} values into the predicate
+    name's hash — O(arity), never a deep term walk. *)
+
 type rule = { head : int; pos : int array; neg : int array }
 
 type t = {

@@ -16,7 +16,7 @@ let apply env name args =
 let names env = List.map fst (Smap.bindings env)
 
 let as_int v =
-  match v with
+  match Value.node v with
   | Value.Int x -> Some x
   | _ -> None
 
@@ -90,12 +90,18 @@ let fn_pair args =
 
 let fn_fst args =
   match args with
-  | [ Value.Tuple (x :: _) ] -> Some x
+  | [ v ] -> (
+    match Value.node v with
+    | Value.Tuple (x :: _) -> Some x
+    | _ -> None)
   | _ -> None
 
 let fn_snd args =
   match args with
-  | [ Value.Tuple (_ :: y :: _) ] -> Some y
+  | [ v ] -> (
+    match Value.node v with
+    | Value.Tuple (_ :: y :: _) -> Some y
+    | _ -> None)
   | _ -> None
 
 let fn_tuple args = Some (Value.tuple args)
@@ -104,8 +110,10 @@ let fn_concat args =
   let rec go acc args =
     match args with
     | [] -> Some (Value.str acc)
-    | Value.Str s :: rest -> go (acc ^ s) rest
-    | _ -> None
+    | v :: rest -> (
+      match Value.node v with
+      | Value.Str s -> go (acc ^ s) rest
+      | _ -> None)
   in
   go "" args
 

@@ -1,4 +1,6 @@
-type t =
+type t = { node : node; id : int; hash : int }
+
+and node =
   | Int of int
   | Str of string
   | Bool of bool
@@ -7,8 +9,27 @@ type t =
   | Set of t list
   | Cstr of string * t list
 
-let rec compare a b =
-  match a, b with
+let node v = v.node
+let id v = v.id
+
+(* When [enabled], construction interns into the global table and
+   [equal]/[compare]/[hash] exploit physical sharing and the memoized
+   hash field.  When off ([Hashcons.Off], the ablation baseline), they
+   pay the seed's full structural walks instead — every operation still
+   returns the *same answer* in either mode, only the cost differs. *)
+let enabled = ref true
+
+(* ------------------------------------------------------------------ *)
+(* Structural order.  Must match the seed's order exactly (the Set
+   canonical form and Value.product's sorted-output trick depend on it):
+   Int < Str < Bool < Sym < Tuple < Set < Cstr, lexicographic children.
+   [compare_fast] short-circuits on physical equality at every level, so
+   with hash-consing on, comparing values that share subterms never
+   re-walks them; [compare_structural] is the seed's walk, kept for the
+   [Off] cost model. The two compute identical orderings. *)
+
+let rec compare_node cmp na nb =
+  match na, nb with
   | Int x, Int y -> Stdlib.compare x y
   | Int _, _ -> -1
   | _, Int _ -> 1
@@ -21,59 +42,208 @@ let rec compare a b =
   | Sym x, Sym y -> String.compare x y
   | Sym _, _ -> -1
   | _, Sym _ -> 1
-  | Tuple x, Tuple y -> compare_list x y
+  | Tuple x, Tuple y -> compare_list cmp x y
   | Tuple _, _ -> -1
   | _, Tuple _ -> 1
-  | Set x, Set y -> compare_list x y
+  | Set x, Set y -> compare_list cmp x y
   | Set _, _ -> -1
   | _, Set _ -> 1
   | Cstr (f, x), Cstr (g, y) ->
     let c = String.compare f g in
-    if c <> 0 then c else compare_list x y
+    if c <> 0 then c else compare_list cmp x y
 
-and compare_list xs ys =
+and compare_list cmp xs ys =
   match xs, ys with
   | [], [] -> 0
   | [], _ :: _ -> -1
   | _ :: _, [] -> 1
   | x :: xs', y :: ys' ->
-    let c = compare x y in
-    if c <> 0 then c else compare_list xs' ys'
+    let c = cmp x y in
+    if c <> 0 then c else compare_list cmp xs' ys'
 
-let equal a b = compare a b = 0
+let rec compare_fast a b =
+  if a == b then 0 else compare_node compare_fast a.node b.node
 
-let rec hash v =
-  match v with
-  | Int x -> Hashtbl.hash (0, x)
-  | Str s -> Hashtbl.hash (1, s)
-  | Bool b -> Hashtbl.hash (2, b)
-  | Sym s -> Hashtbl.hash (3, s)
-  | Tuple xs -> List.fold_left (fun acc x -> (acc * 31) + hash x) 5 xs
-  | Set xs -> List.fold_left (fun acc x -> (acc * 31) + hash x) 7 xs
+let rec compare_structural a b = compare_node compare_structural a.node b.node
+
+let compare a b =
+  if !enabled then compare_fast a b else compare_structural a b
+
+let equal a b =
+  if !enabled then a == b || (a.hash = b.hash && compare_fast a b = 0)
+  else compare_structural a b = 0
+
+(* ------------------------------------------------------------------ *)
+(* Hashing.  FNV-1a over constructor tag and the children's *memoized*
+   hashes — computing a node's hash is O(arity), never a deep walk.  The
+   id is deliberately absent: hashes must be reproducible across runs
+   and equal for structurally equal values in either hash-consing mode. *)
+
+let fnv_offset = 0x811c9dc5
+let fnv_prime = 0x01000193
+let mix h k = ((h lxor k) * fnv_prime) land max_int
+let memo_fold h v = mix h v.hash
+let hash_children seed xs = List.fold_left memo_fold (mix fnv_offset seed) xs
+
+let node_hash n =
+  match n with
+  | Int x -> mix (mix fnv_offset 3) (Hashtbl.hash x)
+  | Str s -> mix (mix fnv_offset 5) (Hashtbl.hash s)
+  | Bool b -> mix (mix fnv_offset 7) (if b then 1 else 0)
+  | Sym s -> mix (mix fnv_offset 11) (Hashtbl.hash s)
+  | Tuple xs -> hash_children 13 xs
+  | Set xs -> hash_children 17 xs
+  | Cstr (f, xs) -> List.fold_left memo_fold (mix (mix fnv_offset 19) (Hashtbl.hash f)) xs
+
+(* Full structural rehash — by induction it returns exactly the memoized
+   field, so a value hashed under [Off] and probed under [On] (or vice
+   versa) lands in the same bucket; only the cost differs.  Leaves read
+   the field directly: it was computed from the payload alone. *)
+let rec deep_hash v =
+  match v.node with
+  | Int _ | Str _ | Bool _ | Sym _ -> v.hash
+  | Tuple xs -> deep_children 13 xs
+  | Set xs -> deep_children 17 xs
   | Cstr (f, xs) ->
-    List.fold_left (fun acc x -> (acc * 31) + hash x) (Hashtbl.hash (11, f)) xs
+    List.fold_left deep_fold (mix (mix fnv_offset 19) (Hashtbl.hash f)) xs
 
-let int x = Int x
-let str s = Str s
-let bool b = Bool b
-let sym s = Sym s
-let tuple xs = Tuple xs
-let pair a b = Tuple [ a; b ]
-let cstr f xs = Cstr (f, xs)
-let tt = Bool true
-let ff = Bool false
+and deep_fold h v = mix h (deep_hash v)
+and deep_children seed xs = List.fold_left deep_fold (mix fnv_offset seed) xs
+
+let hash v = if !enabled then v.hash else deep_hash v
+let hash_fold h v = mix h (hash v)
+
+(* ------------------------------------------------------------------ *)
+(* The hash-consing table.  Keys are nodes whose children are already
+   constructed values, so key equality only compares payloads and child
+   *pointers* — O(arity), like key hashing.  A strong table: the value
+   universes here live as long as the evaluation that built them, and a
+   strong table keeps Stats deterministic; a weak table (GC-evictable
+   entries) is the drop-in upgrade if retention ever dominates. *)
+
+module Tbl = Hashtbl.Make (struct
+  type t = node
+
+  let rec same_children xs ys =
+    match xs, ys with
+    | [], [] -> true
+    | x :: xs', y :: ys' -> x == y && same_children xs' ys'
+    | _, _ -> false
+
+  let equal n1 n2 =
+    match n1, n2 with
+    | Int a, Int b -> Stdlib.( = ) a b
+    | Str a, Str b -> String.equal a b
+    | Bool a, Bool b -> Stdlib.( = ) a b
+    | Sym a, Sym b -> String.equal a b
+    | Tuple xs, Tuple ys -> same_children xs ys
+    | Set xs, Set ys -> same_children xs ys
+    | Cstr (f, xs), Cstr (g, ys) -> String.equal f g && same_children xs ys
+    | (Int _ | Str _ | Bool _ | Sym _ | Tuple _ | Set _ | Cstr _), _ -> false
+
+  let hash = node_hash
+end)
+
+let table : t Tbl.t = Tbl.create 4096
+let next_id = ref 0
+let hits = ref 0
+let misses = ref 0
+
+let stamp n =
+  let id = !next_id in
+  incr next_id;
+  { node = n; id; hash = node_hash n }
+
+let make n =
+  if !enabled then begin
+    match Tbl.find_opt table n with
+    | Some v ->
+      incr hits;
+      v
+    | None ->
+      incr misses;
+      let v = stamp n in
+      Tbl.add table n v;
+      v
+  end
+  else stamp n
+
+module Hashcons = struct
+  type mode = On | Off
+
+  let mode () = if !enabled then On else Off
+
+  let set_mode m =
+    enabled :=
+      (match m with
+      | On -> true
+      | Off -> false)
+
+  let with_mode m f =
+    let saved = mode () in
+    set_mode m;
+    Fun.protect ~finally:(fun () -> set_mode saved) f
+end
+
+module Stats = struct
+  type snapshot = {
+    enabled : bool;
+    live : int;
+    buckets : int;
+    max_bucket : int;
+    hits : int;
+    misses : int;
+    total_ids : int;
+  }
+
+  let snapshot () =
+    let s = Tbl.stats table in
+    {
+      enabled = !enabled;
+      live = s.Hashtbl.num_bindings;
+      buckets = s.Hashtbl.num_buckets;
+      max_bucket = s.Hashtbl.max_bucket_length;
+      hits = !hits;
+      misses = !misses;
+      total_ids = !next_id;
+    }
+
+  let reset_counters () =
+    hits := 0;
+    misses := 0
+
+  let pp ppf s =
+    Fmt.pf ppf
+      "@[<v>hashcons: %s@,live nodes: %d (in %d buckets, longest chain %d)@,\
+       hits: %d  misses: %d  (hit rate %.1f%%)@,ids stamped: %d@]"
+      (if s.enabled then "on" else "off")
+      s.live s.buckets s.max_bucket s.hits s.misses
+      (if s.hits + s.misses = 0 then 0.
+       else 100. *. float_of_int s.hits /. float_of_int (s.hits + s.misses))
+      s.total_ids
+end
+
+(* ------------------------------------------------------------------ *)
+(* Smart constructors — the only way in, so every value is stamped. *)
+
+let int x = make (Int x)
+let str s = make (Str s)
+let bool b = make (Bool b)
+let sym s = make (Sym s)
+let tuple xs = make (Tuple xs)
+let pair a b = make (Tuple [ a; b ])
+let cstr f xs = make (Cstr (f, xs))
+let tt = bool true
+let ff = bool false
 
 (* Canonicalisation: strictly sorted, duplicate free. *)
-let canon xs =
-  let sorted = List.sort_uniq compare xs in
-  Set sorted
-
+let canon xs = make (Set (List.sort_uniq compare xs))
 let set xs = canon xs
-let empty_set = Set []
-let singleton x = Set [ x ]
+let empty_set = make (Set [])
+let singleton x = make (Set [ x ])
 
 let as_elements name v =
-  match v with
+  match v.node with
   | Set xs -> xs
   | Int _ | Str _ | Bool _ | Sym _ | Tuple _ | Cstr _ ->
     invalid_arg (name ^ ": expected a set value")
@@ -81,12 +251,14 @@ let as_elements name v =
 let elements v = as_elements "Value.elements" v
 
 let is_set v =
-  match v with
+  match v.node with
   | Set _ -> true
   | Int _ | Str _ | Bool _ | Sym _ | Tuple _ | Cstr _ -> false
 
 let cardinal v = List.length (as_elements "Value.cardinal" v)
 
+(* Scan of the sorted element list; the [c < 0] arm exits as soon as the
+   scanned element exceeds the probe. *)
 let mem x v =
   let rec search xs =
     match xs with
@@ -108,7 +280,7 @@ let rec merge xs ys =
     else y :: merge xs ys'
 
 let union a b =
-  Set (merge (as_elements "Value.union" a) (as_elements "Value.union" b))
+  make (Set (merge (as_elements "Value.union" a) (as_elements "Value.union" b)))
 
 let inter a b =
   let rec go xs ys =
@@ -120,7 +292,7 @@ let inter a b =
       else if c < 0 then go xs' ys
       else go xs ys'
   in
-  Set (go (as_elements "Value.inter" a) (as_elements "Value.inter" b))
+  make (Set (go (as_elements "Value.inter" a) (as_elements "Value.inter" b)))
 
 let diff a b =
   let rec go xs ys =
@@ -133,7 +305,7 @@ let diff a b =
       else if c < 0 then x :: go xs' ys
       else go xs ys'
   in
-  Set (go (as_elements "Value.diff" a) (as_elements "Value.diff" b))
+  make (Set (go (as_elements "Value.diff" a) (as_elements "Value.diff" b)))
 
 let product a b =
   let xs = as_elements "Value.product" a
@@ -142,7 +314,7 @@ let product a b =
      sorted the blocks (one per left element, each ordered by the right
      element) concatenate into a strictly sorted, duplicate-free list —
      no re-canonicalisation pass needed. *)
-  Set (List.concat_map (fun x -> List.map (fun y -> pair x y) ys) xs)
+  make (Set (List.concat_map (fun x -> List.map (fun y -> pair x y) ys) xs))
 
 let subset a b =
   let rec go xs ys =
@@ -158,7 +330,7 @@ let subset a b =
   go (as_elements "Value.subset" a) (as_elements "Value.subset" b)
 
 let add x v = union (singleton x) v
-let filter p v = Set (List.filter p (as_elements "Value.filter" v))
+let filter p v = make (Set (List.filter p (as_elements "Value.filter" v)))
 let map_set f v = canon (List.map f (as_elements "Value.map_set" v))
 
 let filter_map_set f v =
@@ -183,12 +355,12 @@ let union_all vs =
   go vs
 
 let proj i v =
-  match v with
+  match v.node with
   | Tuple xs -> List.nth_opt xs (i - 1)
   | Int _ | Str _ | Bool _ | Sym _ | Set _ | Cstr _ -> None
 
 let rec pp ppf v =
-  match v with
+  match v.node with
   | Int x -> Fmt.int ppf x
   | Str s -> Fmt.pf ppf "%S" s
   | Bool true -> Fmt.string ppf "T"

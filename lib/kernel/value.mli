@@ -1,4 +1,4 @@
-(** Complex-object values.
+(** Complex-object values, hash-consed.
 
     This is the common value universe shared by the algebraic query
     languages, the deductive engine and the specification layer. A value is
@@ -10,9 +10,20 @@
     Sets are kept in a canonical form (strictly sorted, duplicate free), so
     structural equality of values coincides with semantic equality; this is
     the "equality is definable on the type" prerequisite the paper imposes
-    on set element types (Section 2.1, footnote 1). *)
+    on set element types (Section 2.1, footnote 1).
 
-type t = private
+    Every value is a node stamped with a unique [id] and a precomputed
+    [hash]; with hash-consing enabled (the default) the smart constructors
+    intern each node in a global table, so structurally equal values are
+    physically equal, [equal] is (up to a hash prefilter) a pointer
+    comparison, [hash] is a field read, and [compare] short-circuits on
+    shared subterms. The [id] is a construction-order stamp: stable within
+    a run, not across runs — it must never influence ordering or any
+    observable result (see DESIGN.md). *)
+
+type t = private { node : node; id : int; hash : int }
+
+and node = private
   | Int of int
   | Str of string
   | Bool of bool
@@ -20,6 +31,15 @@ type t = private
   | Tuple of t list
   | Set of t list  (** invariant: strictly sorted w.r.t. [compare], no dups *)
   | Cstr of string * t list  (** constructor term over the Herbrand universe *)
+
+val node : t -> node
+(** Structure view — pattern-match the result against the [node]
+    constructors. *)
+
+val id : t -> int
+(** Unique stamp of the node. With hash-consing on, structurally equal
+    values share one id; ids are assigned in construction order and are
+    not stable across runs. *)
 
 (** {1 Constructors} *)
 
@@ -43,8 +63,68 @@ val ff : t
 (** {1 Comparison} *)
 
 val compare : t -> t -> int
+(** Structural total order: [Int < Str < Bool < Sym < Tuple < Set < Cstr],
+    lexicographic on children. The order itself never consults ids or
+    hashes. With hash-consing on, physically equal (sub)terms compare [0]
+    without a walk; under {!Hashcons.Off} the full structural walk of the
+    seed is performed — same ordering, baseline cost. *)
+
 val equal : t -> t -> bool
+(** With hash-consing on: physical equality, then hash prefilter, then
+    structural walk (the fallbacks cover values built under
+    {!Hashcons.Off} and mode mixing). Under [Off]: a pure structural
+    comparison, the ablation baseline. Both return the same boolean. *)
+
 val hash : t -> int
+(** With hash-consing on, the memoized hash — a field read, never a
+    re-walk. Under {!Hashcons.Off}, a full structural rehash that returns
+    the identical number (so tables survive mode mixing) at the seed's
+    O(size) cost. *)
+
+val hash_fold : int -> t -> int
+(** [hash_fold acc v] mixes {!hash}[ v] into [acc] with the same FNV-style
+    mixer used internally; the building block for hashing aggregates
+    (fact tuples, join keys) without re-walking values. *)
+
+(** {1 Hash-consing control} *)
+
+module Hashcons : sig
+  type mode =
+    | On  (** intern every node: structural equality = physical equality *)
+    | Off
+        (** structural fallback: nodes are stamped but not shared — the
+            benchmark/ablation baseline *)
+
+  val mode : unit -> mode
+  val set_mode : mode -> unit
+
+  val with_mode : mode -> (unit -> 'a) -> 'a
+  (** Run a thunk under the given mode, restoring the previous mode on
+      exit (also on exceptions). Values built under [Off] are not in the
+      table, so physical equality with later [On]-mode values is not
+      guaranteed — [equal]/[compare]/[hash] remain correct regardless. *)
+end
+
+(** {1 Instrumentation} *)
+
+module Stats : sig
+  type snapshot = {
+    enabled : bool;  (** current {!Hashcons.mode} *)
+    live : int;  (** nodes interned in the table *)
+    buckets : int;  (** table bucket count *)
+    max_bucket : int;  (** longest bucket chain *)
+    hits : int;  (** constructor calls answered from the table *)
+    misses : int;  (** constructor calls that interned a fresh node *)
+    total_ids : int;  (** ids ever stamped, including [Off]-mode builds *)
+  }
+
+  val snapshot : unit -> snapshot
+
+  val reset_counters : unit -> unit
+  (** Zero [hits]/[misses]; the table and id counter are untouched. *)
+
+  val pp : Format.formatter -> snapshot -> unit
+end
 
 (** {1 Set operations}
 
@@ -54,7 +134,11 @@ val hash : t -> int
 val elements : t -> t list
 val is_set : t -> bool
 val cardinal : t -> int
+
 val mem : t -> t -> bool
+(** Scan of the strictly sorted element list, early-exiting as soon as an
+    element exceeds the probe. *)
+
 val union : t -> t -> t
 val inter : t -> t -> t
 val diff : t -> t -> t

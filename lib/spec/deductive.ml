@@ -27,7 +27,7 @@ let rec value_of_term t =
   | Term.Op (name, args) -> Value.cstr ("c_" ^ name) (List.map value_of_term args)
 
 let rec term_of_value v =
-  match v with
+  match Value.node v with
   | Value.Cstr (name, args) when String.length name > 2 && String.sub name 0 2 = "c_" ->
     let rec go acc args =
       match args with

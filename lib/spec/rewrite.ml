@@ -23,7 +23,21 @@ let match_term pattern term =
   in
   go [] pattern term
 
-let rec rewrite_step ?(fuel = Limits.default ()) spec term =
+(* Normal-form cache, keyed on the hash-consed Value image of a ground
+   term: with the kernel's interning, key hashing and equality are O(1)
+   instead of a re-walk of the term just normalised. *)
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type cache = Term.t Vtbl.t
+
+let cache () = Vtbl.create 256
+
+let rec rewrite_step ?(fuel = Limits.default ()) ?cache:c spec term =
   Limits.spend fuel ~what:"Rewrite.rewrite_step";
   (* Innermost: rewrite arguments first. *)
   match term with
@@ -33,7 +47,7 @@ let rec rewrite_step ?(fuel = Limits.default ()) spec term =
       match args with
       | [] -> None
       | a :: rest -> (
-        match rewrite_step ~fuel spec a with
+        match rewrite_step ~fuel ?cache:c spec a with
         | Some a' -> Some (List.rev_append acc (a' :: rest))
         | None -> rewrite_args (a :: acc) rest)
     in
@@ -52,25 +66,38 @@ let rec rewrite_step ?(fuel = Limits.default ()) spec term =
                   match p with
                   | Equation.Eq_prem (a, b) ->
                     Term.equal
-                      (normalize ~fuel spec (Term.subst subst a))
-                      (normalize ~fuel spec (Term.subst subst b))
+                      (normalize ~fuel ?cache:c spec (Term.subst subst a))
+                      (normalize ~fuel ?cache:c spec (Term.subst subst b))
                   | Equation.Neq_prem (a, b) ->
                     not
                       (Term.equal
-                         (normalize ~fuel spec (Term.subst subst a))
-                         (normalize ~fuel spec (Term.subst subst b))))
+                         (normalize ~fuel ?cache:c spec (Term.subst subst a))
+                         (normalize ~fuel ?cache:c spec (Term.subst subst b))))
                 eq.Equation.premises
             in
             if premises_hold then Some (Term.subst subst eq.Equation.rhs) else None)
         (Spec.equations spec))
 
-and normalize ?(fuel = Limits.default ()) spec term =
-  match rewrite_step ~fuel spec term with
-  | Some term' -> normalize ~fuel spec term'
-  | None -> term
+and normalize ?(fuel = Limits.default ()) ?cache:c spec term =
+  let rec loop term =
+    match rewrite_step ~fuel ?cache:c spec term with
+    | Some term' -> loop term'
+    | None -> term
+  in
+  match c with
+  | None -> loop term
+  | Some tbl when Term.is_ground term -> (
+    let key = Term.to_value term in
+    match Vtbl.find_opt tbl key with
+    | Some nf -> nf
+    | None ->
+      let nf = loop term in
+      Vtbl.add tbl key nf;
+      nf)
+  | Some _ -> loop term
 
-let eval_bool ?fuel spec term =
-  match normalize ?fuel spec term with
+let eval_bool ?fuel ?cache spec term =
+  match normalize ?fuel ?cache spec term with
   | Term.Op ("T", []) | Term.Op ("TRUE", []) -> Tvl.True
   | Term.Op ("F", []) | Term.Op ("FALSE", []) -> Tvl.False
   | Term.Op _ | Term.Var _ -> Tvl.Undef

@@ -13,14 +13,26 @@ open Recalg_kernel
 val match_term : Term.t -> Term.t -> (string * Term.t) list option
 (** One-way matching of a pattern (left) against a ground term. *)
 
-val rewrite_step : ?fuel:Limits.fuel -> Spec.t -> Term.t -> Term.t option
-(** One innermost rewrite, if some rule applies. *)
+type cache
+(** A normal-form memo, keyed on the hash-consed {!Recalg_kernel.Value}
+    image of each ground term — key hashing and equality are O(1) under
+    the interning kernel, so re-normalising a subterm that was already
+    reduced (premise checks do this constantly) is a table lookup instead
+    of a rewrite run. Reuse one cache only across calls with the same
+    specification. *)
 
-val normalize : ?fuel:Limits.fuel -> Spec.t -> Term.t -> Term.t
+val cache : unit -> cache
+
+val rewrite_step : ?fuel:Limits.fuel -> ?cache:cache -> Spec.t -> Term.t -> Term.t option
+(** One innermost rewrite, if some rule applies; [cache] memoises the
+    premise normalisations. *)
+
+val normalize : ?fuel:Limits.fuel -> ?cache:cache -> Spec.t -> Term.t -> Term.t
 (** Innermost normalisation; raises [Limits.Diverged] on runaway rule
-    systems. *)
+    systems. With [cache], ground terms normalised before are answered
+    from the memo (and spend no fuel). *)
 
-val eval_bool : ?fuel:Limits.fuel -> Spec.t -> Term.t -> Tvl.t
+val eval_bool : ?fuel:Limits.fuel -> ?cache:cache -> Spec.t -> Term.t -> Tvl.t
 (** Normalise a boolean-sorted term and read off [T]/[F] constants;
     [Undef] when the normal form is neither — e.g. membership in an
     underspecified set before the Section 2.2 default rule is added. *)

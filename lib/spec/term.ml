@@ -61,7 +61,7 @@ let rec to_value t =
   | Op (name, args) -> Value.cstr name (List.map to_value args)
 
 let rec of_value v =
-  match v with
+  match Value.node v with
   | Value.Cstr (name, args) ->
     let rec go acc args =
       match args with

@@ -265,7 +265,7 @@ let pred_tuples solution t pred =
   | Some const ->
     let vset = Rec_eval.constant solution const in
     let unwrap v =
-      match v with
+      match Value.node v with
       | Value.Tuple args -> Some args
       | _ -> None
     in

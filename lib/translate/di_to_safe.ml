@@ -10,7 +10,7 @@ let components v =
      arguments) all belong to the domain. *)
   let rec go acc v =
     let acc = Vset.add v acc in
-    match v with
+    match Value.node v with
     | Value.Tuple vs | Value.Cstr (_, vs) -> List.fold_left go acc vs
     | Value.Set vs -> List.fold_left go acc vs
     | Value.Int _ | Value.Str _ | Value.Bool _ | Value.Sym _ -> acc

@@ -50,7 +50,7 @@ let query_value ?fuel ?window ?strategy t =
   let solution = Rec_eval.solve ?fuel ?window ?strategy t.defs t.db in
   let vset = Rec_eval.constant solution t.query_constant in
   let unwrap v =
-    match v with
+    match Value.node v with
     | Value.Tuple [ x ] -> Some x
     | _ -> None
   in

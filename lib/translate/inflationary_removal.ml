@@ -122,8 +122,11 @@ let stage_tuples interp p k =
   List.filter_map
     (fun args ->
       match args with
-      | Value.Int i :: rest when i = k -> Some rest
-      | _ -> None)
+      | v :: rest -> (
+        match Value.node v with
+        | Value.Int i when i = k -> Some rest
+        | _ -> None)
+      | [] -> None)
     (Interp.true_tuples interp (staged_name p))
 
 let saturated interp idb max_stage =

@@ -96,7 +96,7 @@ let eval_pred ?fuel ?strategy t pred =
   let value = Eval.eval ?fuel ?strategy t.defs t.db (Expr.rel pred) in
   List.filter_map
     (fun v ->
-      match v with
+      match Value.node v with
       | Value.Tuple args -> Some args
       | _ -> None)
     (Value.elements value)

@@ -162,6 +162,139 @@ let prop_mem_union =
       let x = vi n in
       Value.mem x (Value.union a b) = (Value.mem x a || Value.mem x b))
 
+(* --- Hash-consing kernel --- *)
+
+let test_stats () =
+  Value.Stats.reset_counters ();
+  let s0 = Value.Stats.snapshot () in
+  Alcotest.(check int) "counters reset" 0 (s0.Value.Stats.hits + s0.Value.Stats.misses);
+  let v = Value.cstr "stats_probe" [ vi 1; vi 2 ] in
+  let s1 = Value.Stats.snapshot () in
+  Alcotest.(check bool) "construction counted" true (s1.Value.Stats.hits + s1.Value.Stats.misses > 0);
+  let v' = Value.cstr "stats_probe" [ vi 1; vi 2 ] in
+  let s2 = Value.Stats.snapshot () in
+  Alcotest.(check bool) "rebuild answered from the table" true
+    (s2.Value.Stats.hits > s1.Value.Stats.hits);
+  Alcotest.(check bool) "physically shared" true (v == v');
+  Alcotest.(check bool) "live nodes positive" true (s2.Value.Stats.live > 0);
+  Alcotest.(check bool) "ids stamped covers live" true
+    (s2.Value.Stats.total_ids >= s2.Value.Stats.live);
+  Value.Hashcons.with_mode Value.Hashcons.Off (fun () ->
+      Alcotest.(check bool) "mode off visible in snapshot" false
+        (Value.Stats.snapshot ()).Value.Stats.enabled);
+  Alcotest.(check bool) "mode restored" true
+    (Value.Stats.snapshot ()).Value.Stats.enabled
+
+let test_hashcons_off () =
+  let mk () = Value.cstr "f" [ vi 1; vset [ vi 1; vi 2 ] ] in
+  let a = mk () in
+  Value.Hashcons.with_mode Value.Hashcons.Off (fun () ->
+      let b = mk () in
+      Alcotest.(check bool) "off-mode build not interned" false (a == b);
+      Alcotest.(check bool) "distinct ids" true (Value.id a <> Value.id b);
+      Alcotest.(check bool) "still equal" true (Value.equal a b);
+      Alcotest.(check int) "compare agrees" 0 (Value.compare a b);
+      Alcotest.(check int) "same hash" (Value.hash a) (Value.hash b))
+
+(* Reference structural order — the seed's definition, reimplemented
+   independently of the kernel: Int < Str < Bool < Sym < Tuple < Set <
+   Cstr, lexicographic on children. *)
+let rec ref_compare a b =
+  let rank v =
+    match Value.node v with
+    | Value.Int _ -> 0
+    | Value.Str _ -> 1
+    | Value.Bool _ -> 2
+    | Value.Sym _ -> 3
+    | Value.Tuple _ -> 4
+    | Value.Set _ -> 5
+    | Value.Cstr _ -> 6
+  in
+  match Value.node a, Value.node b with
+  | Value.Int x, Value.Int y -> Stdlib.compare x y
+  | Value.Str x, Value.Str y -> String.compare x y
+  | Value.Bool x, Value.Bool y -> Stdlib.compare x y
+  | Value.Sym x, Value.Sym y -> String.compare x y
+  | Value.Tuple x, Value.Tuple y -> ref_compare_list x y
+  | Value.Set x, Value.Set y -> ref_compare_list x y
+  | Value.Cstr (f, x), Value.Cstr (g, y) ->
+    let c = String.compare f g in
+    if c <> 0 then c else ref_compare_list x y
+  | _, _ -> Stdlib.compare (rank a) (rank b)
+
+and ref_compare_list xs ys =
+  match xs, ys with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs', y :: ys' ->
+    let c = ref_compare x y in
+    if c <> 0 then c else ref_compare_list xs' ys'
+
+let rec rebuild v =
+  match Value.node v with
+  | Value.Int x -> Value.int x
+  | Value.Str s -> Value.str s
+  | Value.Bool b -> Value.bool b
+  | Value.Sym s -> Value.sym s
+  | Value.Tuple xs -> Value.tuple (List.map rebuild xs)
+  | Value.Set xs -> Value.set (List.map rebuild xs)
+  | Value.Cstr (f, xs) -> Value.cstr f (List.map rebuild xs)
+
+let prop_intern_physical =
+  (* With hash-consing on, structural equality IS physical equality:
+     independently rebuilding a value lands on the identical node, and
+     two values are equal exactly when they are the same pointer. *)
+  QCheck.Test.make ~name:"hash-consing: equal ⟺ physically equal" ~count:300
+    QCheck.(pair Tgen.deep_value_arb Tgen.deep_value_arb)
+    (fun (x, y) -> rebuild x == x && Value.equal x y = (x == y))
+
+let prop_compare_reference =
+  (* The kernel's compare (physical fast path) and its Off-mode walk both
+     agree in sign with the independent structural reference. *)
+  let sign c = Stdlib.compare c 0 in
+  QCheck.Test.make ~name:"compare agrees with structural reference" ~count:300
+    QCheck.(pair Tgen.deep_value_arb Tgen.deep_value_arb)
+    (fun (x, y) ->
+      sign (Value.compare x y) = sign (ref_compare x y)
+      && Value.Hashcons.with_mode Value.Hashcons.Off (fun () ->
+             sign (Value.compare x y) = sign (ref_compare x y)))
+
+let prop_hash_mode_agree =
+  (* hash returns the same number whether it reads the memo (On) or
+     re-walks the structure (Off); equal values hash equally. *)
+  QCheck.Test.make ~name:"hash: memoized = structural re-walk" ~count:300
+    QCheck.(pair Tgen.deep_value_arb Tgen.deep_value_arb)
+    (fun (x, y) ->
+      Value.hash x
+      = Value.Hashcons.with_mode Value.Hashcons.Off (fun () -> Value.hash x)
+      && ((not (Value.equal x y)) || Value.hash x = Value.hash y))
+
+let prop_parser_reinterns =
+  (* Printing a value and parsing it back re-interns every node: the
+     round-tripped value is the physically identical pointer. *)
+  QCheck.Test.make ~name:"print/parse round trip re-interns physically" ~count:200
+    Tgen.printable_set_arb (fun v ->
+      match Algebra.Parser.parse_expr (Value.to_string v) with
+      | Error e -> QCheck.Test.fail_reportf "parse error: %s" e
+      | Ok expr -> Algebra.Eval.eval_closed Algebra.Db.empty expr == v)
+
+let prop_mem_reference =
+  QCheck.Test.make ~name:"mem = list membership" ~count:300
+    QCheck.(pair Tgen.deep_value_arb (list_of_size (Gen.int_range 0 6) Tgen.deep_value_arb))
+    (fun (x, elems) ->
+      Value.mem x (Value.set elems) = List.exists (Value.equal x) elems)
+
+let prop_inter_diff_reference =
+  QCheck.Test.make ~name:"inter/diff = filtered membership" ~count:300
+    QCheck.(pair Tgen.small_set_arb Tgen.small_set_arb)
+    (fun (a, b) ->
+      Value.equal (Value.inter a b)
+        (Value.set (List.filter (fun x -> Value.mem x b) (Value.elements a)))
+      && Value.equal (Value.diff a b)
+           (Value.set
+              (List.filter (fun x -> not (Value.mem x b)) (Value.elements a))))
+
 (* --- Tvl --- *)
 
 let test_kleene_tables () =
@@ -352,4 +485,12 @@ let suite =
     QCheck_alcotest.to_alcotest prop_union_all_fold;
     QCheck_alcotest.to_alcotest prop_mem_union;
     QCheck_alcotest.to_alcotest prop_kleene_monotone;
+    Alcotest.test_case "hashcons stats" `Quick test_stats;
+    Alcotest.test_case "hashcons off mode" `Quick test_hashcons_off;
+    QCheck_alcotest.to_alcotest prop_intern_physical;
+    QCheck_alcotest.to_alcotest prop_compare_reference;
+    QCheck_alcotest.to_alcotest prop_hash_mode_agree;
+    QCheck_alcotest.to_alcotest prop_parser_reinterns;
+    QCheck_alcotest.to_alcotest prop_mem_reference;
+    QCheck_alcotest.to_alcotest prop_inter_diff_reference;
   ]

@@ -183,6 +183,22 @@ let test_rewrite_match () =
       (List.assoc_opt "d" subst = Some (Prelude.nat_of_int 5))
   | None -> Alcotest.fail "expected match"
 
+let test_rewrite_cache () =
+  (* A cached normalizer answers repeats from the memo and agrees with the
+     uncached normal form. *)
+  let spec = Prelude.set_nat_rewrite_spec in
+  let cache = Rewrite.cache () in
+  let term = Term.op "INS" [ Prelude.nat_of_int 0; Prelude.set_of_ints [ 0; 1 ] ] in
+  let nf = Rewrite.normalize spec term in
+  Alcotest.(check bool) "cached agrees with uncached" true
+    (Term.equal nf (Rewrite.normalize ~cache spec term));
+  (* Second cached call: answered from the memo without spending fuel. *)
+  Alcotest.(check bool) "memo hit spends no fuel" true
+    (Term.equal nf (Rewrite.normalize ~fuel:(Limits.of_int 1) ~cache spec term));
+  Alcotest.check check_tvl "eval_bool through the cache" Tvl.True
+    (Rewrite.eval_bool ~cache spec (Prelude.mem (Prelude.nat_of_int 1)
+                                      (Prelude.set_of_ints [ 0; 1 ])))
+
 let test_rewrite_divergence_guard () =
   (* Commutativity loops; the fuel turns that into Diverged. *)
   let spec = Prelude.set_nat_spec in
@@ -228,5 +244,6 @@ let suite =
     Alcotest.test_case "rewrite normal form" `Quick test_rewrite_normal_form;
     Alcotest.test_case "rewrite match" `Quick test_rewrite_match;
     Alcotest.test_case "rewrite divergence guard" `Quick test_rewrite_divergence_guard;
+    Alcotest.test_case "rewrite cache" `Quick test_rewrite_cache;
     QCheck_alcotest.to_alcotest prop_rewrite_agrees_with_deduction;
   ]
