@@ -49,10 +49,18 @@ let row fmt = Fmt.pr fmt
 
 (* --- machine-readable records (the CI perf trajectory) --- *)
 
-(* A flat JSON object per benchmark row; collected during a run and
-   written out by [flush_json] when [--json FILE] was given, so numbers
-   are diffable across PRs without scraping the tables. *)
-type json = F of float | I of int | B of bool | S of string
+(* A JSON object per benchmark row; collected during a run and written
+   out by [flush_json] when [--json FILE] was given, so numbers are
+   diffable across PRs without scraping the tables. Rows are mostly
+   flat, but [L]/[O] let a row carry an observability block such as the
+   per-iteration delta-size series of a fixpoint run. *)
+type json =
+  | F of float
+  | I of int
+  | B of bool
+  | S of string
+  | L of json list
+  | O of (string * json) list
 
 let json_path : string option ref = ref None
 let smoke = ref false
@@ -77,12 +85,21 @@ let escape_json s =
     s;
   Buffer.contents buf
 
-let json_of_field v =
+let rec json_of_field v =
   match v with
   | F x -> Printf.sprintf "%.4f" x
   | I n -> string_of_int n
   | B b -> string_of_bool b
   | S s -> Printf.sprintf "\"%s\"" (escape_json s)
+  | L items -> "[" ^ String.concat ", " (List.map json_of_field items) ^ "]"
+  | O fields ->
+    "{"
+    ^ String.concat ", "
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "\"%s\": %s" (escape_json k) (json_of_field v))
+           fields)
+    ^ "}"
 
 let flush_json () =
   match !json_path with

@@ -16,6 +16,17 @@ module U = Bench_util
 
 let vi = Value.int
 
+(* One extra untimed run of [f] with a Summary sink teed in, for the
+   "obs" block of a bench record. Kept out of [U.time_ms], whose repeat
+   samples would multiply every event count. *)
+let obs_summary f =
+  let sum = Obs.Summary.create () in
+  Obs.with_tee (Obs.Summary.sink sum) (fun () -> ignore (f ()));
+  sum
+
+let obs_series sum counter =
+  U.L (List.map (fun n -> U.I n) (Obs.Summary.counter_series sum counter))
+
 (* ------------------------------------------------------------------ *)
 (* E1 — Theorem 6.2: safe deduction -> algebra= round trip.            *)
 
@@ -103,6 +114,10 @@ let e2 () =
         && List.length tr_tuples = tc_count
       in
       let speedup = naive_ms /. semi_ms in
+      let sum =
+        obs_summary (fun () ->
+            Algebra.Eval.eval ~strategy:Algebra.Delta.Seminaive no_defs db W.tc_ifp)
+      in
       U.row "%-10d %8d %14.2f %12.2f %14.2f %8.1fx %14.2f %7b@." n tc_count
         strat_ms naive_ms semi_ms speedup tr_ms equal;
       U.record
@@ -114,7 +129,11 @@ let e2 () =
           ("speedup", U.F speedup);
           ("stratified_ms", U.F strat_ms);
           ("translated_ms", U.F tr_ms);
-          ("agree", U.B equal) ])
+          ("agree", U.B equal);
+          ("obs",
+           U.O
+             [ ("ifp_iters", U.I (Obs.Summary.counter_events sum "eval/ifp_iter"));
+               ("delta_sizes", obs_series sum "eval/ifp_delta") ]) ])
     sizes
 
 (* ------------------------------------------------------------------ *)
@@ -201,6 +220,10 @@ let e5 () =
       && Value.equal value_semi.Algebra.Rec_eval.high direct
     in
     let speedup = naive_ms /. semi_ms in
+    let sum =
+      obs_summary (fun () ->
+          Translate.Ifp_elim.query_value ~strategy:Algebra.Delta.Seminaive elim)
+    in
     U.row "%-12s %8d %8d %6d %12.2f %10.2f %14.2f %8.1fx %7b@." name
       (Value.cardinal direct) elim.Translate.Ifp_elim.stage_bound
       (List.length (Algebra.Defs.defs elim.Translate.Ifp_elim.defs))
@@ -213,7 +236,12 @@ let e5 () =
         ("seminaive_ms", U.F semi_ms);
         ("speedup", U.F speedup);
         ("translate_ms", U.F translate_ms);
-        ("agree", U.B equal) ]
+        ("agree", U.B equal);
+        ("obs",
+         U.O
+           [ ("rounds", U.I (Obs.Summary.counter_events sum "rec_eval/round"));
+             ("phase_iters", U.I (Obs.Summary.counter_total sum "rec_eval/phase_iter"));
+             ("delta_sizes", obs_series sum "rec_eval/delta") ]) ]
   in
   run "chain-2" (W.chain 2);
   if not (U.is_smoke ()) then begin
@@ -424,6 +452,7 @@ let e11 () =
       else 100.0 *. float_of_int stats.Value.Stats.hits /. float_of_int total
     in
     let speedup = off_ms /. on_ms in
+    let sum = obs_summary (fun () -> eval Value.Hashcons.On) in
     U.row "%-20s %8d %12.2f %14.2f %8.1fx %8.1f%% %7b@." name (Value.cardinal on_v)
       on_ms off_ms speedup hit_rate true;
     U.record
@@ -435,7 +464,11 @@ let e11 () =
         ("speedup", U.F speedup);
         ("hit_rate", U.F hit_rate);
         ("hash_collisions", U.I collisions);
-        ("agree", U.B true) ]
+        ("agree", U.B true);
+        ("obs",
+         U.O
+           [ ("ifp_iters", U.I (Obs.Summary.counter_events sum "eval/ifp_iter"));
+             ("delta_sizes", obs_series sum "eval/ifp_delta") ]) ]
   in
   let peano_sizes = if U.is_smoke () then [ 24 ] else [ 24; 48; 96 ] in
   List.iter
@@ -504,9 +537,12 @@ let experiments =
   ]
 
 let () =
-  (* Usage: main.exe [EXPERIMENT...] [smoke] [--json FILE]
+  (* Usage: main.exe [EXPERIMENT...] [smoke] [--json FILE] [--trace FILE]
      - smoke: reduced workload sizes (the CI smoke stage)
-     - --json FILE: also write the run's records as a JSON array *)
+     - --json FILE: also write the run's records as a JSON array
+     - --trace FILE: stream every engine's observability events to FILE
+       as JSON Lines for the whole run *)
+  let trace = ref None in
   let rec parse names args =
     match args with
     | [] -> List.rev names
@@ -516,26 +552,41 @@ let () =
     | [ "--json" ] ->
       Fmt.epr "--json requires a file argument@.";
       exit 2
+    | "--trace" :: path :: rest ->
+      trace := Some path;
+      parse names rest
+    | [ "--trace" ] ->
+      Fmt.epr "--trace requires a file argument@.";
+      exit 2
     | "smoke" :: rest ->
       U.set_smoke ();
       parse names rest
     | name :: rest -> parse (name :: names) rest
   in
   let names = parse [] (List.tl (Array.to_list Sys.argv)) in
-  (match names with
-  | [] ->
-    List.iter (fun (_, f) -> f ()) experiments;
-    micro ()
-  | names ->
-    List.iter
-      (fun name ->
-        match List.assoc_opt name experiments with
-        | Some f -> f ()
-        | None ->
-          if String.equal name "micro" then micro ()
-          else begin
-            Fmt.epr "unknown experiment %s (e1..e11, micro)@." name;
-            exit 2
-          end)
-      names);
+  let go () =
+    match names with
+    | [] ->
+      List.iter (fun (_, f) -> f ()) experiments;
+      micro ()
+    | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> f ()
+          | None ->
+            if String.equal name "micro" then micro ()
+            else begin
+              Fmt.epr "unknown experiment %s (e1..e11, micro)@." name;
+              exit 2
+            end)
+        names
+  in
+  (match !trace with
+  | None -> go ()
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Datalog.Run.with_obs (Obs.Sink.jsonl oc) go));
   U.flush_json ()

@@ -1,0 +1,74 @@
+(* Arguments shared by the evaluating subcommands (run, alg, query):
+   the fuel budget plus the three reporting switches. Declared once so
+   every subcommand documents and parses them identically. *)
+
+open Recalg
+open Cmdliner
+
+type t = {
+  fuel : int;
+  stats : bool;
+  trace : string option;
+  profile : bool;
+}
+
+let term =
+  let fuel =
+    Arg.(value & opt int 1_000_000 & info [ "fuel" ] ~doc:"Evaluation step budget.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print hash-consing statistics (live nodes, table occupancy, \
+             hit/miss counts) to stderr after evaluation.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write an observability trace to $(docv) as JSON Lines: one \
+             event per line for every span, counter and gauge the engines \
+             report.")
+  in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Print an EXPLAIN-style profile to stderr after evaluation: \
+             span timings, fixpoint iteration counts and per-engine \
+             counters.")
+  in
+  let make fuel stats trace profile = { fuel; stats; trace; profile } in
+  Term.(const make $ fuel $ stats $ trace $ profile)
+
+let fuel_of t = Limits.of_int t.fuel
+
+let report_stats t =
+  if t.stats then Fmt.epr "%a@." Value.Stats.pp (Value.Stats.snapshot ())
+
+(* Run [f] with whatever reporting [t] asks for. With neither --trace nor
+   --profile no sink is installed, so the engines' instrumentation stays
+   disabled no-ops. *)
+let with_reporting t f =
+  match t.trace, t.profile with
+  | None, false -> Fun.protect ~finally:(fun () -> report_stats t) f
+  | _ ->
+    let summary = if t.profile then Some (Obs.Summary.create ()) else None in
+    let oc = Option.map open_out t.trace in
+    let sink =
+      match Option.map Obs.Sink.jsonl oc, Option.map Obs.Summary.sink summary with
+      | Some a, Some b -> Obs.Sink.tee a b
+      | Some s, None | None, Some s -> s
+      | None, None -> Obs.Sink.null
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Option.iter close_out oc;
+        Option.iter (fun s -> Fmt.epr "%a@." Obs.Summary.pp s) summary;
+        report_stats t)
+      (fun () -> Datalog.Run.with_obs sink f)

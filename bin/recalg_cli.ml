@@ -38,19 +38,6 @@ let pp_interp interp =
       show "undef: " (Datalog.Interp.undef_tuples interp pred))
     (Datalog.Interp.preds interp)
 
-let fuel_of n = Limits.of_int n
-
-let stats_flag =
-  Arg.(
-    value & flag
-    & info [ "stats" ]
-        ~doc:
-          "Print hash-consing statistics (live nodes, table occupancy, \
-           hit/miss counts) to stderr after evaluation.")
-
-let report_stats enabled =
-  if enabled then Fmt.epr "%a@." Value.Stats.pp (Value.Stats.snapshot ())
-
 let run_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.dl") in
   let semantics =
@@ -60,24 +47,22 @@ let run_cmd =
     in
     Arg.(value & opt parse `Valid & info [ "semantics"; "s" ] ~doc:"Semantics to use.")
   in
-  let fuel =
-    Arg.(value & opt int 1_000_000 & info [ "fuel" ] ~doc:"Evaluation step budget.")
-  in
-  let run file semantics fuel stats =
+  let run file semantics common =
     let program, edb = load file in
-    Fun.protect ~finally:(fun () -> report_stats stats) @@ fun () ->
+    let fuel = Common_args.fuel_of common in
+    Common_args.with_reporting common @@ fun () ->
     match semantics with
-    | `Valid -> pp_interp (Datalog.Run.valid ~fuel:(fuel_of fuel) program edb)
-    | `Wf -> pp_interp (Datalog.Run.wellfounded ~fuel:(fuel_of fuel) program edb)
-    | `Inf -> pp_interp (Datalog.Run.inflationary ~fuel:(fuel_of fuel) program edb)
+    | `Valid -> pp_interp (Datalog.Run.valid ~fuel program edb)
+    | `Wf -> pp_interp (Datalog.Run.wellfounded ~fuel program edb)
+    | `Inf -> pp_interp (Datalog.Run.inflationary ~fuel program edb)
     | `Strat -> (
-      match Datalog.Run.stratified ~fuel:(fuel_of fuel) program edb with
+      match Datalog.Run.stratified ~fuel program edb with
       | Ok db -> Fmt.pr "%a@." Datalog.Edb.pp db
       | Error e ->
         Fmt.epr "error: %s@." e;
         exit 1)
     | `Stable ->
-      let models = Datalog.Run.stable ~fuel:(fuel_of fuel) program edb in
+      let models = Datalog.Run.stable ~fuel program edb in
       Fmt.pr "%d stable model(s)@." (List.length models);
       List.iteri
         (fun i m ->
@@ -87,7 +72,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Evaluate a deductive program under a chosen semantics.")
-    Term.(const run $ file $ semantics $ fuel $ stats_flag)
+    Term.(const run $ file $ semantics $ Common_args.term)
 
 let check_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.dl") in
@@ -128,11 +113,9 @@ let alg_cmd =
     Arg.(value & opt (some int) None
          & info [ "window" ] ~doc:"Intersect constants with the integers 0..N.")
   in
-  let fuel =
-    Arg.(value & opt int 1_000_000 & info [ "fuel" ] ~doc:"Evaluation step budget.")
-  in
-  let alg file window fuel stats =
-    Fun.protect ~finally:(fun () -> report_stats stats) @@ fun () ->
+  let alg file window common =
+    let fuel = Common_args.fuel_of common in
+    Common_args.with_reporting common @@ fun () ->
     match Algebra.Parser.parse_program (read_file file) with
     | Error msg ->
       Fmt.epr "parse error in %s: %s@." file msg;
@@ -145,7 +128,7 @@ let alg_cmd =
       | Ok () ->
         let window = Option.map (fun n -> Value.set (List.init (n + 1) Value.int)) window in
         let sol =
-          Algebra.Rec_eval.solve ?window ~fuel:(fuel_of fuel)
+          Algebra.Rec_eval.solve ?window ~fuel
             p.Algebra.Parser.defs Algebra.Db.empty
         in
         List.iter
@@ -157,7 +140,7 @@ let alg_cmd =
         match p.Algebra.Parser.query with
         | Some q ->
           let v =
-            Algebra.Rec_eval.eval ?window ~fuel:(fuel_of fuel)
+            Algebra.Rec_eval.eval ?window ~fuel
               p.Algebra.Parser.defs Algebra.Db.empty q
           in
           Fmt.pr "@[<h>query = %a@]@." Algebra.Rec_eval.pp_vset v
@@ -166,7 +149,7 @@ let alg_cmd =
   Cmd.v
     (Cmd.info "alg"
        ~doc:"Evaluate an algebra= program under the valid semantics.")
-    Term.(const alg $ file $ window $ fuel $ stats_flag)
+    Term.(const alg $ file $ window $ Common_args.term)
 
 let query_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.dl") in
@@ -174,9 +157,10 @@ let query_cmd =
     Arg.(required & pos 1 (some string) None
          & info [] ~docv:"GOAL" ~doc:"e.g. 'win(X)' or 'win(a)'.")
   in
-  let query file goal stats =
+  let query file goal common =
     let program, edb = load file in
-    Fun.protect ~finally:(fun () -> report_stats stats) @@ fun () ->
+    let fuel = Common_args.fuel_of common in
+    Common_args.with_reporting common @@ fun () ->
     (* A goal is one bodyless rule's head. *)
     match Datalog.Parser.parse_rule (goal ^ ".") with
     | Error msg ->
@@ -185,9 +169,9 @@ let query_cmd =
     | Ok rule ->
       let head = rule.Datalog.Rule.head in
       if Datalog.Literal.atom_vars head = [] then
-        Fmt.pr "%a@." Tvl.pp (Datalog.Query.holds program edb head)
+        Fmt.pr "%a@." Tvl.pp (Datalog.Query.holds ~fuel program edb head)
       else
-      let answers = Datalog.Query.ask program edb head in
+      let answers = Datalog.Query.ask ~fuel program edb head in
       if answers = [] then Fmt.pr "no@."
       else
         List.iter
@@ -203,7 +187,7 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Answer a goal R(x)? under the valid semantics.")
-    Term.(const query $ file $ goal $ stats_flag)
+    Term.(const query $ file $ goal $ Common_args.term)
 
 let () =
   let doc = "algebras with recursion under the valid semantics" in

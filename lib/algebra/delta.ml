@@ -1,4 +1,5 @@
 open Recalg_kernel
+module Obs = Recalg_obs.Obs
 
 type strategy = Naive | Seminaive
 
@@ -49,6 +50,7 @@ let derive ~builtins ?(join = Join.Fused) ~eval ?eval_diff_right ~deltas e =
           | Join.Fused, Expr.Product (ea, eb) -> (
             match Join.plan p with
             | Some jp ->
+              Obs.count "plan/fused" 1;
               let da = go ea and db = go eb in
               let left =
                 if is_empty da then Value.empty_set
@@ -64,7 +66,11 @@ let derive ~builtins ?(join = Join.Fused) ~eval ?eval_diff_right ~deltas e =
         in
         match fused with
         | Some v -> v
-        | None -> Value.filter (fun v -> Pred.eval builtins p v = Some true) (go a))
+        | None ->
+          (match a with
+          | Expr.Product _ -> Obs.count "plan/unfused" 1
+          | _ -> ());
+          Value.filter (fun v -> Pred.eval builtins p v = Some true) (go a))
       | Expr.Map (f, a) -> Value.filter_map_set (Efun.apply builtins f) (go a)
       | Expr.Diff (a, b) ->
         if touches names b then

@@ -1,4 +1,5 @@
 open Recalg_kernel
+module Obs = Recalg_obs.Obs
 
 exception Undefined_relation of string
 exception Recursive_definition of string
@@ -14,6 +15,7 @@ let scoped hashcons f =
 let eval ?(fuel = Limits.default ()) ?(strategy = Delta.Seminaive)
     ?(join = Join.Fused) ?hashcons defs db expr =
   scoped hashcons @@ fun () ->
+  Obs.span "eval" @@ fun () ->
   let builtins = Defs.builtins defs in
   let memo : (string, Value.t) Hashtbl.t = Hashtbl.create 8 in
   let rec eval_name visiting name =
@@ -47,6 +49,7 @@ let eval ?(fuel = Limits.default ()) ?(strategy = Delta.Seminaive)
         | Join.Fused, Expr.Product (ea, eb) -> (
           match Join.plan p with
           | Some jp ->
+            Obs.count "plan/fused" 1;
             Some (Join.exec builtins jp (go visiting env ea) (go visiting env eb))
           | None -> None)
         | (Join.Fused | Join.Unfused), _ -> None
@@ -54,16 +57,23 @@ let eval ?(fuel = Limits.default ()) ?(strategy = Delta.Seminaive)
       match fused with
       | Some v -> v
       | None ->
+        (match a with
+        | Expr.Product _ -> Obs.count "plan/unfused" 1
+        | _ -> ());
         Value.filter
           (fun v -> Pred.eval builtins p v = Some true)
           (go visiting env a))
     | Expr.Map (f, a) -> Value.filter_map_set (Efun.apply builtins f) (go visiting env a)
     | Expr.Ifp (x, body) ->
+      Obs.span "ifp" @@ fun () ->
       let full s = go visiting ((x, s) :: env) body in
       let naive () =
         let rec iterate s =
           Limits.spend fuel ~what:"IFP iteration";
+          Obs.count "eval/ifp_iter" 1;
           let s' = Value.union s (full s) in
+          Obs.countf "eval/ifp_delta" (fun () ->
+              Value.cardinal s' - Value.cardinal s);
           if Value.equal s s' then s else iterate s'
         in
         iterate Value.empty_set
@@ -77,11 +87,14 @@ let eval ?(fuel = Limits.default ()) ?(strategy = Delta.Seminaive)
            Visits the same states as [naive] on the same rounds (and
            spends the same fuel) — see {!Delta}. *)
         Limits.spend fuel ~what:"IFP iteration";
+        Obs.count "eval/ifp_iter" 1;
         let s0 = full Value.empty_set in
+        Obs.countf "eval/ifp_delta" (fun () -> Value.cardinal s0);
         let rec loop s d =
           if Delta.is_empty d then s
           else begin
             Limits.spend fuel ~what:"IFP iteration";
+            Obs.count "eval/ifp_iter" 1;
             let derived =
               Delta.derive ~builtins ~join
                 ~eval:(fun e -> go visiting ((x, s) :: env) e)
@@ -89,6 +102,7 @@ let eval ?(fuel = Limits.default ()) ?(strategy = Delta.Seminaive)
                 body
             in
             let d' = Value.diff derived s in
+            Obs.countf "eval/ifp_delta" (fun () -> Value.cardinal d');
             loop (Value.union s d') d'
           end
         in

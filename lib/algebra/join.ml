@@ -1,4 +1,5 @@
 open Recalg_kernel
+module Obs = Recalg_obs.Obs
 
 type mode = Fused | Unfused
 
@@ -133,6 +134,11 @@ end)
 
 let exec builtins plan left right =
   let ys = Value.elements right in
+  if Obs.enabled () then begin
+    Obs.count "join/exec" 1;
+    Obs.count "join/build" (List.length ys);
+    Obs.count "join/probe" (Value.cardinal left)
+  end;
   let index = Vtbl.create (List.length ys + 1) in
   List.iter
     (fun y ->

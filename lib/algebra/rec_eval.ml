@@ -1,4 +1,5 @@
 open Recalg_kernel
+module Obs = Recalg_obs.Obs
 
 exception Undefined_relation of string
 
@@ -68,6 +69,7 @@ let rec eval_vset builtins db lows highs fuel strategy join env e =
       | Join.Fused, Expr.Product (ea, eb) -> (
         match Join.plan p with
         | Some jp ->
+          Obs.count "plan/fused" 1;
           let sa = recur env ea and sb = recur env eb in
           Some
             { low = Join.exec builtins jp sa.low sb.low;
@@ -78,6 +80,9 @@ let rec eval_vset builtins db lows highs fuel strategy join env e =
     match fused with
     | Some s -> s
     | None ->
+      (match a with
+      | Expr.Product _ -> Obs.count "plan/unfused" 1
+      | _ -> ());
       let sa = recur env a in
       let keep v = Pred.eval builtins p v = Some true in
       { low = Value.filter keep sa.low; high = Value.filter keep sa.high })
@@ -91,6 +96,7 @@ let rec eval_vset builtins db lows highs fuel strategy join env e =
     let naive () =
       let rec iterate s =
         Limits.spend fuel ~what:"Rec_eval: IFP iteration";
+        Obs.count "rec_eval/ifp_iter" 1;
         let s' = vset_union s (full s) in
         if vset_equal s s' then s else iterate s'
       in
@@ -106,11 +112,13 @@ let rec eval_vset builtins db lows highs fuel strategy join env e =
          so its opposite bound is what gets subtracted — mirroring
          [low = a.low - b.high], [high = a.high - b.low]. *)
       Limits.spend fuel ~what:"Rec_eval: IFP iteration";
+      Obs.count "rec_eval/ifp_iter" 1;
       let s0 = full (exact Value.empty_set) in
       let rec loop s d =
         if Delta.is_empty d.low && Delta.is_empty d.high then s
         else begin
           Limits.spend fuel ~what:"Rec_eval: IFP iteration";
+          Obs.count "rec_eval/ifp_iter" 1;
           let derive proj opp dval =
             Delta.derive ~builtins ~join
               ~eval:(fun e -> proj (recur ((x, s) :: env) e))
@@ -143,6 +151,7 @@ let scoped hashcons f =
 let solve ?(fuel = Limits.default ()) ?window ?(strategy = Delta.Seminaive)
     ?(join = Join.Fused) ?hashcons defs db =
   scoped hashcons @@ fun () ->
+  Obs.span "rec_eval" @@ fun () ->
   let inlined = Defs.inline_all defs in
   let builtins = Defs.builtins inlined in
   let bodies = Defs.constant_bodies inlined in
@@ -167,9 +176,11 @@ let solve ?(fuel = Limits.default ()) ?window ?(strategy = Delta.Seminaive)
      iterates from the empty map grow and a constant's next value is its
      current value united with the delta-derived tuples — semi-naive and
      full recomputation visit identical maps on identical iterations. *)
-  let phase_lfp ~eval_bounds ~project ~opposite =
+  let phase_lfp ~label ~eval_bounds ~project ~opposite =
+    Obs.span label @@ fun () ->
     let rec iterate current deltas first =
       Limits.spend fuel ~what:"Rec_eval: phase iteration";
+      Obs.count "rec_eval/phase_iter" 1;
       let changed = ref false in
       let next, next_deltas =
         List.fold_left
@@ -192,28 +203,35 @@ let solve ?(fuel = Limits.default ()) ?window ?(strategy = Delta.Seminaive)
             (Smap.add name value acc, (name, Value.diff value cur) :: ds))
           (current, []) names
       in
+      Obs.countf "rec_eval/delta" (fun () ->
+          List.fold_left (fun acc (_, d) -> acc + Value.cardinal d) 0 next_deltas);
       if !changed then iterate next next_deltas false else next
     in
     iterate empty_map [] true
   in
   let rec outer lows_prev rounds =
     Limits.spend fuel ~what:"Rec_eval: outer round";
-    (* High phase: lows fixed at the previous round's value, highs grow
-       from the empty map to their least fixpoint. *)
-    let highs =
-      phase_lfp
-        ~eval_bounds:(fun highs_cur e ->
-          eval_vset builtins db lows_prev highs_cur fuel strategy join [] e)
-        ~project:(fun s -> s.high)
-        ~opposite:(fun s -> s.low)
-    in
-    (* Low phase: highs fixed, lows grow from the empty map. *)
-    let lows =
-      phase_lfp
-        ~eval_bounds:(fun lows_cur e ->
-          eval_vset builtins db lows_cur highs fuel strategy join [] e)
-        ~project:(fun s -> s.low)
-        ~opposite:(fun s -> s.high)
+    Obs.count "rec_eval/round" 1;
+    let highs, lows =
+      Obs.spanf (fun () -> "round " ^ string_of_int rounds) @@ fun () ->
+      (* High phase: lows fixed at the previous round's value, highs grow
+         from the empty map to their least fixpoint. *)
+      let highs =
+        phase_lfp ~label:"high"
+          ~eval_bounds:(fun highs_cur e ->
+            eval_vset builtins db lows_prev highs_cur fuel strategy join [] e)
+          ~project:(fun s -> s.high)
+          ~opposite:(fun s -> s.low)
+      in
+      (* Low phase: highs fixed, lows grow from the empty map. *)
+      let lows =
+        phase_lfp ~label:"low"
+          ~eval_bounds:(fun lows_cur e ->
+            eval_vset builtins db lows_cur highs fuel strategy join [] e)
+          ~project:(fun s -> s.low)
+          ~opposite:(fun s -> s.high)
+      in
+      (highs, lows)
     in
     if Smap.equal Value.equal lows lows_prev then
       { lows; highs; defs = inlined; db; fuel; window; strategy; join; rounds }

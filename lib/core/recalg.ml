@@ -24,6 +24,16 @@ module Limits = Recalg_kernel.Limits
 module Bitset = Recalg_kernel.Bitset
 module Interner = Recalg_kernel.Interner
 
+(** Observability: spans, counters, gauges and pluggable sinks. Every
+    engine below reports through this layer; with no sink installed it
+    is a set of zero-cost no-ops. *)
+module Obs = struct
+  module Event = Recalg_obs.Event
+  module Sink = Recalg_obs.Sink
+  module Summary = Recalg_obs.Summary
+  include Recalg_obs.Obs
+end
+
 module Datalog = struct
   module Dterm = Recalg_datalog.Dterm
   module Subst = Recalg_datalog.Subst

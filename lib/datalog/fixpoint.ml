@@ -1,4 +1,5 @@
 open Recalg_kernel
+module Obs = Recalg_obs.Obs
 
 let lfp (pg : Propgm.t) ~neg_ok =
   let n = Propgm.n_atoms pg in
@@ -35,6 +36,10 @@ let lfp (pg : Propgm.t) ~neg_ok =
         watch.(a)
     end
   done;
+  if Obs.enabled () then begin
+    Obs.count "fixpoint/lfp" 1;
+    Obs.count "fixpoint/derived" (Bitset.count truths)
+  end;
   truths
 
 let one_step (pg : Propgm.t) ~current ~neg_ok =

@@ -1,4 +1,5 @@
 open Recalg_kernel
+module Obs = Recalg_obs.Obs
 
 exception Unsafe of string
 
@@ -66,6 +67,11 @@ type state = {
   stores : (string, store) Hashtbl.t;
   seen_rules : (int * int list * int list, unit) Hashtbl.t;
   mutable ground_rules : Propgm.rule list;
+  (* Probe accounting, only bumped while a sink is installed; emitted as
+     counters when grounding completes. *)
+  mutable idx_hits : int;
+  mutable idx_misses : int;
+  mutable scans : int;
 }
 
 let store_of st pred =
@@ -150,9 +156,13 @@ let rec solve st body idx delta_pos subst k =
         match key with
         | Some (pos, v) -> (
           match Vtbl.find_opt (index_of s section pos) v with
-          | Some bucket -> Tuples.iter try_tuple bucket
-          | None -> ())
-        | None -> Tuples.iter try_tuple (section_tuples s section))
+          | Some bucket ->
+            if Obs.enabled () then st.idx_hits <- st.idx_hits + 1;
+            Tuples.iter try_tuple bucket
+          | None -> if Obs.enabled () then st.idx_misses <- st.idx_misses + 1)
+        | None ->
+          if Obs.enabled () then st.scans <- st.scans + 1;
+          Tuples.iter try_tuple (section_tuples s section))
       sections
   | Literal.Neg _ :: rest ->
     (* Recorded later from the complete substitution; never filters. *)
@@ -208,6 +218,7 @@ let ground ?(fuel = Limits.default ()) ?(strategy = `Seminaive) ?hashcons
   | None -> fun f -> f ()
   | Some mode -> Value.Hashcons.with_mode mode)
   @@ fun () ->
+  Obs.span "ground" @@ fun () ->
   let st =
     {
       program;
@@ -217,6 +228,9 @@ let ground ?(fuel = Limits.default ()) ?(strategy = `Seminaive) ?hashcons
       stores = Hashtbl.create 16;
       seen_rules = Hashtbl.create 256;
       ground_rules = [];
+      idx_hits = 0;
+      idx_misses = 0;
+      scans = 0;
     }
   in
   (* Seed the envelope with the extensional database; EDB facts become
@@ -241,7 +255,18 @@ let ground ?(fuel = Limits.default ()) ?(strategy = `Seminaive) ?hashcons
         s.delta <- s.next;
         s.next <- Tuples.empty;
         Hashtbl.reset s.indexes)
-      st.stores
+      st.stores;
+    if Obs.enabled () then begin
+      let envelope, delta =
+        Hashtbl.fold
+          (fun _ s (e, d) ->
+            let dn = Tuples.cardinal s.delta in
+            (e + Tuples.cardinal s.full + dn, d + dn))
+          st.stores (0, 0)
+      in
+      Obs.count "ground/envelope" envelope;
+      Obs.count "ground/delta" delta
+    end
   in
   let delta_nonempty () =
     Hashtbl.fold (fun _ s acc -> acc || not (Tuples.is_empty s.delta)) st.stores false
@@ -254,6 +279,7 @@ let ground ?(fuel = Limits.default ()) ?(strategy = `Seminaive) ?hashcons
   (match strategy with
   | `Seminaive ->
     while delta_nonempty () do
+      Obs.count "ground/round" 1;
       List.iter
         (fun (r, body) ->
           List.iteri
@@ -268,6 +294,7 @@ let ground ?(fuel = Limits.default ()) ?(strategy = `Seminaive) ?hashcons
   | `Naive ->
     let changed = ref true in
     while !changed do
+      Obs.count "ground/round" 1;
       let before = Hashtbl.length st.seen_rules in
       List.iter
         (fun (r, body) -> instantiate_rule st r body ~delta_pos:None)
@@ -275,4 +302,11 @@ let ground ?(fuel = Limits.default ()) ?(strategy = `Seminaive) ?hashcons
       promote ();
       changed := Hashtbl.length st.seen_rules > before || delta_nonempty ()
     done);
+  if Obs.enabled () then begin
+    Obs.count "ground/index_hit" st.idx_hits;
+    Obs.count "ground/index_miss" st.idx_misses;
+    Obs.count "ground/scan" st.scans;
+    Obs.count "ground/atoms" (Interner.size st.atoms);
+    Obs.count "ground/rules" (List.length st.ground_rules)
+  end;
   { Propgm.atoms = st.atoms; rules = Array.of_list (List.rev st.ground_rules) }

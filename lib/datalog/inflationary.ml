@@ -1,11 +1,17 @@
 open Recalg_kernel
+module Obs = Recalg_obs.Obs
 
 let step pg current =
   let out = Fixpoint.one_step pg ~current ~neg_ok:(fun a -> not (Bitset.get current a)) in
   Bitset.union_into ~dst:out current;
+  if Obs.enabled () then begin
+    Obs.count "inflationary/stage" 1;
+    Obs.count "inflationary/derived" (Bitset.count out - Bitset.count current)
+  end;
   out
 
 let stages (pg : Propgm.t) =
+  Obs.span "inflationary" @@ fun () ->
   let n = Propgm.n_atoms pg in
   let rec go acc current =
     let next = step pg current in
@@ -15,6 +21,7 @@ let stages (pg : Propgm.t) =
   go [] (Bitset.create n)
 
 let solve_raw pg =
+  Obs.span "inflationary" @@ fun () ->
   let n = Propgm.n_atoms pg in
   let rec go current =
     let next = step pg current in

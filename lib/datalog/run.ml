@@ -1,14 +1,33 @@
-let valid ?fuel program edb = Valid.solve (Grounder.ground ?fuel program edb)
+module Obs = Recalg_obs.Obs
+
+let valid ?fuel program edb =
+  Obs.span "run.valid" @@ fun () -> Valid.solve (Grounder.ground ?fuel program edb)
 
 let wellfounded ?fuel program edb =
+  Obs.span "run.wellfounded" @@ fun () ->
   Wellfounded.solve (Grounder.ground ?fuel program edb)
 
 let inflationary ?fuel program edb =
+  Obs.span "run.inflationary" @@ fun () ->
   Inflationary.solve (Grounder.ground ?fuel program edb)
 
 let stable ?fuel ?max_residue program edb =
+  Obs.span "run.stable" @@ fun () ->
   Stable.models ?max_residue (Grounder.ground ?fuel program edb)
 
-let stratified ?fuel program edb = Seminaive.stratified ?fuel program edb
+let stratified ?fuel program edb =
+  Obs.span "run.stratified" @@ fun () -> Seminaive.stratified ?fuel program edb
 
 let holds ?fuel program edb pred args = Interp.holds (valid ?fuel program edb) pred args
+
+let with_obs sink f =
+  Obs.with_sink sink @@ fun () ->
+  Fun.protect
+    ~finally:(fun () ->
+      (* Fold the kernel's interner statistics into the same stream, so
+         memo/intern behaviour lands next to the engine metrics. *)
+      let s = Recalg_kernel.Value.Stats.snapshot () in
+      Obs.count "value/intern_hits" s.Recalg_kernel.Value.Stats.hits;
+      Obs.count "value/intern_misses" s.Recalg_kernel.Value.Stats.misses;
+      Obs.count "value/live_nodes" s.Recalg_kernel.Value.Stats.live)
+    f

@@ -17,3 +17,11 @@ val holds :
   ?fuel:Limits.fuel -> Program.t -> Edb.t -> string -> Value.t list -> Tvl.t
 (** Valid-semantics truth value of one ground query "R(ā)?" (Section 4's
     query form). *)
+
+val with_obs : Recalg_obs.Sink.t -> (unit -> 'a) -> 'a
+(** Run a thunk with the given observability sink installed
+    ({!Recalg_obs.Obs.with_sink}): every engine invoked inside reports
+    spans and metrics to it. Before the sink is flushed and removed, the
+    kernel's {!Value.Stats} snapshot is folded into the stream as
+    [value/intern_hits], [value/intern_misses] and [value/live_nodes]
+    counters. *)

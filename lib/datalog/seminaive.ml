@@ -1,4 +1,5 @@
 open Recalg_kernel
+module Obs = Recalg_obs.Obs
 
 exception Unsafe of string
 
@@ -75,6 +76,7 @@ let ordered_rules program rules =
     rules
 
 let run ~variant ?(fuel = Limits.default ()) program ~base rules =
+  Obs.span "seminaive" @@ fun () ->
   let builtins = program.Program.builtins in
   let stores : (string, store) Hashtbl.t = Hashtbl.create 16 in
   let store_of pred =
@@ -138,10 +140,16 @@ let run ~variant ?(fuel = Limits.default ()) program ~base rules =
   let delta_nonempty () =
     Hashtbl.fold (fun _ s acc -> acc || not (Tuples.is_empty s.delta)) stores false
   in
+  let derived_this_round () =
+    Hashtbl.fold (fun _ s acc -> acc + Tuples.cardinal s.next) stores 0
+  in
   (* First round: no delta restriction. *)
+  Obs.count "seminaive/round" 1;
   List.iter (fun (r, body) -> derive r body ~delta_pos:None) ordered;
+  Obs.countf "seminaive/derived" derived_this_round;
   promote ();
   while delta_nonempty () do
+    Obs.count "seminaive/round" 1;
     (match variant with
     | `Naive ->
       (* Full re-evaluation: recompute everything from the whole store. *)
@@ -157,6 +165,7 @@ let run ~variant ?(fuel = Limits.default ()) program ~base rules =
               | Literal.Pos _ | Literal.Neg _ | Literal.Eq _ | Literal.Neq _ -> ())
             body)
         ordered);
+    Obs.countf "seminaive/derived" derived_this_round;
     promote ()
   done;
   Hashtbl.fold

@@ -1,12 +1,15 @@
 open Recalg_kernel
+module Obs = Recalg_obs.Obs
 
 let is_stable pg candidate =
   let reduct_lfp = Fixpoint.lfp pg ~neg_ok:(fun a -> not (Bitset.get candidate a)) in
   Bitset.equal reduct_lfp candidate
 
 let models ?(max_residue = 20) pg =
+  Obs.span "stable" @@ fun () ->
   let wf_true, wf_undef = Wellfounded.solve_raw pg in
   let residue = Bitset.to_list wf_undef in
+  Obs.countf "stable/residue" (fun () -> List.length residue) ;
   if List.length residue > max_residue then
     raise
       (Limits.Diverged
@@ -20,10 +23,12 @@ let models ?(max_residue = 20) pg =
     | [] ->
       let candidate = Bitset.copy wf_true in
       List.iter (Bitset.set candidate) chosen;
+      Obs.count "stable/candidate" 1;
       if is_stable pg candidate then found := candidate :: !found
     | a :: rest' ->
       branch chosen rest';
       branch (a :: chosen) rest'
   in
   branch [] residue;
+  Obs.countf "stable/models" (fun () -> List.length !found);
   List.rev_map (fun m -> Interp.of_true pg m) !found

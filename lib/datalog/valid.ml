@@ -1,6 +1,8 @@
 open Recalg_kernel
+module Obs = Recalg_obs.Obs
 
 let run (pg : Propgm.t) =
+  Obs.span "valid" @@ fun () ->
   let n = Propgm.n_atoms pg in
   let t = ref (Bitset.create n) in
   let f = Bitset.create n in
@@ -8,6 +10,8 @@ let run (pg : Propgm.t) =
   let continue = ref true in
   while !continue do
     incr rounds;
+    Obs.count "valid/round" 1;
+    Obs.spanf (fun () -> "round " ^ string_of_int !rounds) @@ fun () ->
     (* Possible: every derivation from T in which only facts not in T are
        used negatively. *)
     let t_now = !t in
@@ -18,6 +22,10 @@ let run (pg : Propgm.t) =
     done;
     (* New true facts: use only F negatively. *)
     let t' = Fixpoint.lfp pg ~neg_ok:(fun a -> Bitset.get f a) in
+    if Obs.enabled () then begin
+      Obs.count "valid/new_true" (Bitset.count t' - Bitset.count !t);
+      Obs.count "valid/false" (Bitset.count f)
+    end;
     if Bitset.equal t' !t then continue := false else t := t'
   done;
   (!t, f, !rounds)

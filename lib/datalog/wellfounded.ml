@@ -1,17 +1,25 @@
 open Recalg_kernel
+module Obs = Recalg_obs.Obs
 
 let solve_raw (pg : Propgm.t) =
+  Obs.span "wellfounded" @@ fun () ->
   let n = Propgm.n_atoms pg in
   let t = ref (Bitset.create n) in
   let continue = ref true in
   let u = ref (Bitset.create n) in
+  let rounds = ref 0 in
   while !continue do
+    incr rounds;
+    Obs.count "wellfounded/round" 1;
+    Obs.spanf (fun () -> "round " ^ string_of_int !rounds) @@ fun () ->
     (* Overestimate: not a is licensed unless a is surely true. *)
     let under = !t in
     u := Fixpoint.lfp pg ~neg_ok:(fun a -> not (Bitset.get under a));
     (* Underestimate: not a licensed only when a is surely false. *)
     let over = !u in
     let t' = Fixpoint.lfp pg ~neg_ok:(fun a -> not (Bitset.get over a)) in
+    if Obs.enabled () then
+      Obs.count "wellfounded/new_true" (Bitset.count t' - Bitset.count !t);
     if Bitset.equal t' !t then continue := false else t := t'
   done;
   let undef = Bitset.create n in

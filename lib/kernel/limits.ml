@@ -1,5 +1,19 @@
 exception Diverged of string
 
+(* Exhaustion context: an observability layer higher in the stack may
+   register a provider describing *where* evaluation currently is (the
+   active span path). [None] — the default, and the answer whenever
+   tracing is off — leaves the message byte-identical to the
+   context-free one. *)
+let context : (unit -> string option) ref = ref (fun () -> None)
+let set_context f = context := f
+
+let exhausted what =
+  let base = what ^ ": fuel exhausted" in
+  match !context () with
+  | None -> Diverged base
+  | Some where -> Diverged (base ^ " (in " ^ where ^ ")")
+
 type fuel = { mutable left : int; infinite : bool }
 
 let of_int n =
@@ -11,7 +25,7 @@ let default () = of_int 1_000_000
 
 let spend t ~what =
   if not t.infinite then begin
-    if t.left <= 0 then raise (Diverged (what ^ ": fuel exhausted"));
+    if t.left <= 0 then raise (exhausted what);
     t.left <- t.left - 1
   end
 

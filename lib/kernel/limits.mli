@@ -27,3 +27,11 @@ val spend : fuel -> what:string -> unit
 
 val remaining : fuel -> int option
 (** [None] for {!unlimited}. *)
+
+val set_context : (unit -> string option) -> unit
+(** Register an exhaustion-context provider, consulted when {!Diverged}
+    is about to be raised: [Some where] appends [" (in where)"] to the
+    message so users see where the budget died (the observability layer
+    supplies the active span path, e.g. ["run.valid > valid > round 3"]);
+    [None] leaves the message unchanged. The default provider always
+    answers [None]. *)

@@ -1,0 +1,36 @@
+type t =
+  | Span_begin of { span : string; at : float }
+  | Span_end of { span : string; at : float; ms : float }
+  | Count of { counter : string; span : string; at : float; n : int }
+  | Gauge of { counter : string; span : string; at : float; value : float }
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Keys [span], [counter] and [at] appear on every line — the invariant
+   the CI trace validator checks — so consumers can group by span path
+   and filter by counter name without caring about the event shape. *)
+let to_json e =
+  let line ~ev ~span ~counter ~at payload =
+    Printf.sprintf "{\"at\": %.6f, \"ev\": \"%s\", \"span\": \"%s\", \"counter\": \"%s\"%s}"
+      at ev (escape span) (escape counter) payload
+  in
+  match e with
+  | Span_begin { span; at } -> line ~ev:"span_begin" ~span ~counter:"" ~at ""
+  | Span_end { span; at; ms } ->
+    line ~ev:"span_end" ~span ~counter:"" ~at (Printf.sprintf ", \"ms\": %.4f" ms)
+  | Count { counter; span; at; n } ->
+    line ~ev:"count" ~span ~counter ~at (Printf.sprintf ", \"n\": %d" n)
+  | Gauge { counter; span; at; value } ->
+    line ~ev:"gauge" ~span ~counter ~at (Printf.sprintf ", \"value\": %.6f" value)

@@ -1,0 +1,77 @@
+open Recalg_kernel
+
+(* Global observability state. [enabled_flag] is the one-load fast path
+   every emission checks first; [stack] holds the active span names,
+   innermost first, and is only touched while enabled (so it is [] in
+   disabled runs and the fuel-context provider stays silent there). *)
+let enabled_flag = ref false
+let sink = ref Sink.null
+let t0 = ref 0.0
+let stack : string list ref = ref []
+
+let enabled () = !enabled_flag
+let now () = Unix.gettimeofday () -. !t0
+let path () = String.concat " > " (List.rev !stack)
+let emit e = !sink.Sink.emit e
+
+let with_sink s f =
+  let was_enabled = !enabled_flag and old_sink = !sink and old_t0 = !t0 in
+  if not was_enabled then t0 := Unix.gettimeofday ();
+  enabled_flag := true;
+  sink := s;
+  Fun.protect
+    ~finally:(fun () ->
+      s.Sink.flush ();
+      enabled_flag := was_enabled;
+      sink := old_sink;
+      t0 := old_t0)
+    f
+
+let with_tee s f =
+  if !enabled_flag then with_sink (Sink.tee !sink s) f else with_sink s f
+
+module Span = struct
+  let run name f =
+    if not !enabled_flag then f ()
+    else begin
+      stack := name :: !stack;
+      let p = path () in
+      let at = now () in
+      emit (Event.Span_begin { span = p; at });
+      Fun.protect
+        ~finally:(fun () ->
+          let at' = now () in
+          emit (Event.Span_end { span = p; at = at'; ms = (at' -. at) *. 1000. });
+          stack := List.tl !stack)
+        f
+    end
+
+  let runf namef f = if not !enabled_flag then f () else run (namef ()) f
+end
+
+module Counter = struct
+  let emit name n =
+    if !enabled_flag then
+      emit (Event.Count { counter = name; span = path (); at = now (); n })
+
+  let emitf name nf = if !enabled_flag then emit name (nf ())
+end
+
+module Gauge = struct
+  let emit name value =
+    if !enabled_flag then
+      emit (Event.Gauge { counter = name; span = path (); at = now (); value })
+end
+
+let span = Span.run
+let spanf = Span.runf
+let count = Counter.emit
+let countf = Counter.emitf
+let gauge = Gauge.emit
+
+(* Attach the active span path to fuel-exhaustion messages. With no sink
+   (or outside any span) the provider answers [None] and the Diverged
+   message is byte-identical to the uninstrumented one. *)
+let () =
+  Limits.set_context (fun () ->
+      if !enabled_flag && !stack <> [] then Some (path ()) else None)

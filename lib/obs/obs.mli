@@ -1,0 +1,70 @@
+(** Engine-wide observability front end.
+
+    Every evaluator in the repository reports through this module:
+    nestable timed {!Span}s for phases (a whole [valid] solve, one
+    alternating-fixpoint round, one grounding), monotone {!Counter}s for
+    per-iteration quantities (delta sizes, derived-fact counts, join
+    build/probe volumes, index hits) and sampled {!Gauge}s. Events flow
+    to the installed {!Sink.t} — {!Sink.null} by default.
+
+    {b Zero-cost-when-off invariant.} With no sink installed (the
+    default), every entry point short-circuits on a single flag load:
+    no event is built, no payload thunk is forced, no string is
+    concatenated, no allocation happens beyond the caller's own closure.
+    Engine results and fuel spend are identical with and without a sink
+    — instrumentation observes, it never steers.
+
+    {b Fuel context.} While a sink is installed, the active span path
+    (e.g. ["run.valid > valid > round 3"]) is attached to
+    {!Recalg_kernel.Limits.Diverged} messages, so a blown budget says
+    where it died. With no sink the message is byte-identical to the
+    uninstrumented one. *)
+
+val enabled : unit -> bool
+(** [true] iff a sink is installed. Call sites guard expensive payload
+    computations (e.g. a [Value.cardinal]) behind this. *)
+
+val with_sink : Sink.t -> (unit -> 'a) -> 'a
+(** Install [s], run the thunk, flush [s], restore the previous sink
+    (also on exceptions). The relative event clock restarts at 0 when
+    installing over the disabled state. *)
+
+val with_tee : Sink.t -> (unit -> 'a) -> 'a
+(** Like {!with_sink}, but if a sink is already installed the new one is
+    teed onto it rather than replacing it — events reach both. *)
+
+val path : unit -> string
+(** The active span path, components joined with [" > "]; [""] outside
+    any span. *)
+
+module Span : sig
+  val run : string -> (unit -> 'a) -> 'a
+  (** [run name f] emits [Span_begin]/[Span_end] around [f], pushing
+      [name] onto the span path; when disabled it is exactly [f ()]. *)
+
+  val runf : (unit -> string) -> (unit -> 'a) -> 'a
+  (** Lazy-name variant for dynamic names (["round 3"]): the name thunk
+      is only forced when a sink is installed. *)
+end
+
+module Counter : sig
+  val emit : string -> int -> unit
+  (** Record an increment of a monotone metric; no-op when disabled. *)
+
+  val emitf : string -> (unit -> int) -> unit
+  (** Lazy variant: the increment thunk is only forced when a sink is
+      installed — use when computing it costs more than a field read. *)
+end
+
+module Gauge : sig
+  val emit : string -> float -> unit
+  (** Record a sample of a level metric; no-op when disabled. *)
+end
+
+(** Aliases for the common emissions, so call sites stay short. *)
+
+val span : string -> (unit -> 'a) -> 'a
+val spanf : (unit -> string) -> (unit -> 'a) -> 'a
+val count : string -> int -> unit
+val countf : string -> (unit -> int) -> unit
+val gauge : string -> float -> unit

@@ -1,0 +1,24 @@
+(** Pluggable event consumers.
+
+    A sink is just a pair of callbacks; the {!Obs} front end guarantees
+    they are only invoked while that sink is installed. Sinks must not
+    raise: an emission happens inside engine hot loops and an exception
+    there would corrupt an evaluation that is otherwise correct. *)
+
+type t = { emit : Event.t -> unit; flush : unit -> unit }
+
+val null : t
+(** Drops everything. The default: with [null] installed the {!Obs}
+    front end is disabled outright, so engine call sites short-circuit
+    before building event payloads. *)
+
+val jsonl : out_channel -> t
+(** One JSON object per line per event (see {!Event.to_json}). The
+    channel is flushed by [flush], not closed — the opener closes it. *)
+
+val memory : unit -> t * (unit -> Event.t list)
+(** Collects events in memory; the second component returns them in
+    emission order. For tests and the bench harness. *)
+
+val tee : t -> t -> t
+(** Duplicates every event to both sinks, in argument order. *)

@@ -1,0 +1,117 @@
+type span_stat = {
+  mutable calls : int;
+  mutable total_ms : float;
+  mutable max_ms : float;
+}
+
+type counter_stat = {
+  mutable events : int;
+  mutable total : int;
+  mutable max_n : int;
+  mutable series_rev : int list;
+}
+
+type gauge_stat = {
+  mutable samples : int;
+  mutable last : float;
+  mutable max_v : float;
+}
+
+type t = {
+  spans : (string, span_stat) Hashtbl.t;
+  counters : (string, counter_stat) Hashtbl.t;
+  gauges : (string, gauge_stat) Hashtbl.t;
+}
+
+let create () =
+  { spans = Hashtbl.create 16; counters = Hashtbl.create 16; gauges = Hashtbl.create 8 }
+
+let find tbl mk name =
+  match Hashtbl.find_opt tbl name with
+  | Some s -> s
+  | None ->
+    let s = mk () in
+    Hashtbl.add tbl name s;
+    s
+
+let sink t =
+  let emit e =
+    match e with
+    | Event.Span_begin _ -> ()
+    | Event.Span_end { span; ms; _ } ->
+      let s =
+        find t.spans (fun () -> { calls = 0; total_ms = 0.; max_ms = 0. }) span
+      in
+      s.calls <- s.calls + 1;
+      s.total_ms <- s.total_ms +. ms;
+      if ms > s.max_ms then s.max_ms <- ms
+    | Event.Count { counter; n; _ } ->
+      let c =
+        find t.counters
+          (fun () -> { events = 0; total = 0; max_n = min_int; series_rev = [] })
+          counter
+      in
+      c.events <- c.events + 1;
+      c.total <- c.total + n;
+      if n > c.max_n then c.max_n <- n;
+      c.series_rev <- n :: c.series_rev
+    | Event.Gauge { counter; value; _ } ->
+      let g =
+        find t.gauges
+          (fun () -> { samples = 0; last = 0.; max_v = neg_infinity })
+          counter
+      in
+      g.samples <- g.samples + 1;
+      g.last <- value;
+      if value > g.max_v then g.max_v <- value
+  in
+  { Sink.emit; flush = ignore }
+
+let span_calls t name =
+  match Hashtbl.find_opt t.spans name with Some s -> s.calls | None -> 0
+
+let span_total_ms t name =
+  match Hashtbl.find_opt t.spans name with Some s -> s.total_ms | None -> 0.
+
+let counter_events t name =
+  match Hashtbl.find_opt t.counters name with Some c -> c.events | None -> 0
+
+let counter_total t name =
+  match Hashtbl.find_opt t.counters name with Some c -> c.total | None -> 0
+
+let counter_series t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> List.rev c.series_rev
+  | None -> []
+
+let sorted_bindings tbl =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let pp ppf t =
+  let spans = sorted_bindings t.spans in
+  let counters = sorted_bindings t.counters in
+  let gauges = sorted_bindings t.gauges in
+  Fmt.pf ppf "== obs profile ==@.";
+  if spans <> [] then begin
+    Fmt.pf ppf "%-44s %8s %12s %12s@." "span" "calls" "total ms" "max ms";
+    List.iter
+      (fun (name, s) ->
+        Fmt.pf ppf "%-44s %8d %12.3f %12.3f@." name s.calls s.total_ms s.max_ms)
+      spans
+  end;
+  if counters <> [] then begin
+    Fmt.pf ppf "%-44s %8s %12s %12s@." "counter" "events" "total" "max";
+    List.iter
+      (fun (name, c) ->
+        Fmt.pf ppf "%-44s %8d %12d %12d@." name c.events c.total c.max_n)
+      counters
+  end;
+  if gauges <> [] then begin
+    Fmt.pf ppf "%-44s %8s %12s %12s@." "gauge" "samples" "last" "max";
+    List.iter
+      (fun (name, g) ->
+        Fmt.pf ppf "%-44s %8d %12.3f %12.3f@." name g.samples g.last g.max_v)
+      gauges
+  end

@@ -1,0 +1,33 @@
+(** Aggregating sink: the EXPLAIN-style profile.
+
+    Feeding a run's events through [sink t] folds them into per-name
+    aggregates — span call counts and wall-clock totals, counter event
+    counts / totals / maxima (and the full per-event series, for
+    per-iteration plots), gauge sample counts and extrema — which {!pp}
+    renders as an aligned table, the CLI's [--profile] output. *)
+
+type t
+
+val create : unit -> t
+val sink : t -> Sink.t
+
+val span_calls : t -> string -> int
+(** Completed invocations of the span ([0] if never seen). *)
+
+val span_total_ms : t -> string -> float
+
+val counter_events : t -> string -> int
+(** Number of emissions of the counter — e.g. the number of fixpoint
+    iterations when the engine emits one delta-size count per round. *)
+
+val counter_total : t -> string -> int
+(** Sum of the emitted increments. *)
+
+val counter_series : t -> string -> int list
+(** The emitted increments in emission order — e.g. the per-iteration
+    delta sizes of a semi-naive run. *)
+
+val pp : Format.formatter -> t -> unit
+(** The EXPLAIN-style table: one section for spans, one for counters,
+    one for gauges; names sorted, so output is deterministic up to
+    timings. *)

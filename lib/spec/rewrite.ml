@@ -1,4 +1,5 @@
 open Recalg_kernel
+module Obs = Recalg_obs.Obs
 
 let match_term pattern term =
   let rec go subst pattern term =
@@ -89,8 +90,11 @@ and normalize ?(fuel = Limits.default ()) ?cache:c spec term =
   | Some tbl when Term.is_ground term -> (
     let key = Term.to_value term in
     match Vtbl.find_opt tbl key with
-    | Some nf -> nf
+    | Some nf ->
+      Obs.count "rewrite/cache_hit" 1;
+      nf
     | None ->
+      Obs.count "rewrite/cache_miss" 1;
       let nf = loop term in
       Vtbl.add tbl key nf;
       nf)

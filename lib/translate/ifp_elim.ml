@@ -1,5 +1,6 @@
 open Recalg_kernel
 open Recalg_algebra
+module Obs = Recalg_obs.Obs
 
 type t = {
   defs : Defs.t;
@@ -27,6 +28,7 @@ let saturation_bound ?fuel ?initial_bound program edb =
   bound
 
 let eliminate ?fuel ?initial_bound defs db expr =
+  Obs.span "ifp_elim" @@ fun () ->
   (* Step 1 (Prop 5.1): naive translation; exact under inflationary
      semantics when IFP is present. *)
   let tr = Alg_to_datalog.translate defs db expr in
@@ -39,6 +41,13 @@ let eliminate ?fuel ?initial_bound defs db expr =
   in
   (* Step 3 (Prop 6.1): back to recursive algebra equations. *)
   let back = Datalog_to_alg.translate staged_program staged_edb in
+  (* The elimination's output size: how large an algebra= program the
+     Theorem 3.5 pipeline manufactures for this query. *)
+  if Obs.enabled () then begin
+    Obs.count "ifp_elim/stage_bound" bound;
+    Obs.count "ifp_elim/defs" (List.length (Defs.defs back.Datalog_to_alg.defs));
+    Obs.count "ifp_elim/rules" (List.length staged_program.Recalg_datalog.Program.rules)
+  end;
   {
     defs = back.Datalog_to_alg.defs;
     db = back.Datalog_to_alg.db;

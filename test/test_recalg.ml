@@ -12,5 +12,6 @@ let () =
       ("translate", Test_translate.suite);
       ("alg-parser", Test_alg_parser.suite);
       ("spec", Test_spec.suite);
+      ("obs", Test_obs.suite);
       ("parameterized", Test_parameterized.suite);
     ]
