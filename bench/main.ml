@@ -530,10 +530,151 @@ let micro () =
     (fun (name, ns) -> U.row "%-34s %12.0f ns/run@." name ns)
     (List.sort compare results)
 
+(* ------------------------------------------------------------------ *)
+(* E12 — incremental view maintenance: amortized per-update cost vs    *)
+(* recompute-from-scratch, across batch sizes and update mixes.        *)
+
+let e12 () =
+  U.hr "E12: incremental maintenance, amortized per-update vs recompute";
+  U.row "%-8s %-14s %-7s %6s %4s %12s %14s %12s %9s %6s@." "engine" "workload"
+    "kind" "batch" "k" "ms/update" "ms/batch" "scratch ms" "speedup" "agree";
+  let no_defs = Algebra.Defs.make [] in
+  let sizes = if U.is_smoke () then [ 48 ] else [ 96; 192 ] in
+  let batch_sizes = if U.is_smoke () then [ 1; 16 ] else [ 1; 16; 256 ] in
+  let max_calls = if U.is_smoke () then 8 else 64 in
+  let kinds = [ ("insert", `Insert); ("delete", `Delete); ("mixed", `Mixed) ] in
+  let clamp lo hi v = max lo (min hi v) in
+  let config n kind b =
+    (* Delete-heavy streams carry their stock in the base chain, whose
+       closure is quadratic in its length — keep their totals half the
+       insert ones so the materialization stays tractable. *)
+    let k =
+      match kind with
+      | `Insert -> clamp 1 max_calls (256 / b)
+      | `Delete | `Mixed -> clamp 1 (max 1 (max_calls / 2)) (128 / b)
+    in
+    let total = k * b in
+    (* Inserts prepend fresh edges before node 0; deletes consume the
+       chain head-first, against extra stock appended to the base so a
+       delete never misses. The final database always holds [n]-ish
+       edges, so the recompute baseline matches the maintained state. *)
+    let deletes =
+      match kind with `Insert -> 0 | `Delete -> total | `Mixed -> total / 2
+    in
+    let base_edges = W.chain (n + deletes) in
+    let op j =
+      match kind with
+      | `Insert -> (true, (-(j + 1), -j))
+      | `Delete -> (false, (j, j + 1))
+      | `Mixed ->
+        if j mod 2 = 0 then (true, (-((j / 2) + 1), -(j / 2)))
+        else (false, (j / 2, (j / 2) + 1))
+    in
+    let batches = List.init k (fun i -> List.init b (fun jj -> op ((i * b) + jj))) in
+    (k, total, base_edges, batches)
+  in
+  let run_algebra base_edges batches =
+    let upd ops =
+      List.fold_left
+        (fun u (ins, (a, b)) ->
+          let v = Value.pair (vi a) (vi b) in
+          if ins then Algebra.Incremental.Update.insert "edge" v u
+          else Algebra.Incremental.Update.delete "edge" v u)
+        Algebra.Incremental.Update.empty ops
+    in
+    let mk () =
+      Algebra.Incremental.init no_defs (W.db_of ~rel:"edge" base_edges) W.tc_ifp
+    in
+    let replay eng = List.iter (fun ops -> ignore (Algebra.Incremental.update eng (upd ops))) batches in
+    let sum = obs_summary (fun () -> replay (mk ())) in
+    let eng = mk () in
+    let t_incr, () = U.time_ms ~runs:1 (fun () -> replay eng) in
+    let scratch_ms, scratch_v =
+      U.time_ms (fun () -> Algebra.Eval.eval no_defs (Algebra.Incremental.db eng) W.tc_ifp)
+    in
+    let agree = Value.equal (Algebra.Incremental.value eng) scratch_v in
+    (t_incr, scratch_ms, agree, sum)
+  in
+  let run_datalog base_edges batches =
+    let upd ops =
+      List.fold_left
+        (fun u (ins, (a, b)) ->
+          let tup = [ vi a; vi b ] in
+          if ins then Datalog.Edb.Update.insert "e" tup u
+          else Datalog.Edb.Update.delete "e" tup u)
+        Datalog.Edb.Update.empty ops
+    in
+    let mk () =
+      match Datalog.Incremental.init W.tc_program (W.edb_of ~pred:"e" base_edges) with
+      | Ok t -> t
+      | Error m -> failwith m
+    in
+    let replay t = List.iter (fun ops -> ignore (Datalog.Incremental.update t (upd ops))) batches in
+    let sum = obs_summary (fun () -> replay (mk ())) in
+    let t = mk () in
+    let t_incr, () = U.time_ms ~runs:1 (fun () -> replay t) in
+    let scratch_ms, scratch_r =
+      U.time_ms (fun () ->
+          Datalog.Seminaive.stratified W.tc_program (Datalog.Incremental.edb t))
+    in
+    let agree =
+      match scratch_r with
+      | Ok r -> Datalog.Edb.equal (Datalog.Incremental.result t) r
+      | Error _ -> false
+    in
+    (t_incr, scratch_ms, agree, sum)
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (kind_name, kind) ->
+          List.iter
+            (fun b ->
+              let k, total, base_edges, batches = config n kind b in
+              List.iter
+                (fun (engine, run) ->
+                  let t_incr, scratch_ms, agree, sum = run base_edges batches in
+                  let per_batch = t_incr /. float_of_int k in
+                  let per_update = t_incr /. float_of_int total in
+                  let speedup = scratch_ms /. per_batch in
+                  assert agree;
+                  let c name = Obs.Summary.counter_total sum ("incr/" ^ name) in
+                  U.row "%-8s %-14s %-7s %6d %4d %12.3f %14.2f %12.2f %8.1fx %6b@."
+                    engine (Fmt.str "tc-chain-%d" n) kind_name b k per_update
+                    per_batch scratch_ms speedup agree;
+                  U.record
+                    [ ("experiment", U.S "e12");
+                      ("engine", U.S engine);
+                      ("workload", U.S (Fmt.str "tc-chain-%d" n));
+                      ("kind", U.S kind_name);
+                      ("n", U.I n);
+                      ("batch", U.I b);
+                      ("batches", U.I k);
+                      ("updates", U.I total);
+                      ("incr_ms_per_update", U.F per_update);
+                      ("incr_ms_per_batch", U.F per_batch);
+                      ("scratch_ms", U.F scratch_ms);
+                      ("speedup", U.F speedup);
+                      ("agree", U.B agree);
+                      ("obs",
+                       U.O
+                         [ ("insertions", U.I (c "insertions"));
+                           ("retractions", U.I (c "retractions"));
+                           ("repaired", U.I (c "repaired"));
+                           ("recompute", U.I (c "recompute"));
+                           ("extend", U.I (c "extend" + c "ifp_extend"));
+                           ("dred", U.I (c "dred" + c "ifp_dred"));
+                           ("rounds", U.I (c "ifp_round" + c "dred_round")) ]) ])
+                [ ("algebra", run_algebra); ("datalog", run_datalog) ])
+            batch_sizes)
+        kinds)
+    sizes
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
+    ("e12", e12);
   ]
 
 let () =
@@ -577,7 +718,7 @@ let () =
           | None ->
             if String.equal name "micro" then micro ()
             else begin
-              Fmt.epr "unknown experiment %s (e1..e11, micro)@." name;
+              Fmt.epr "unknown experiment %s (e1..e12, micro)@." name;
               exit 2
             end)
         names

@@ -76,7 +76,8 @@ let run_cmd =
 
 let check_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.dl") in
-  let check file =
+  let check file common =
+    Common_args.with_reporting common @@ fun () ->
     let program, _ = load file in
     (match Datalog.Safety.check program with
     | Ok () -> Fmt.pr "safe: yes@."
@@ -91,11 +92,12 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Report safety and stratification of a program.")
-    Term.(const check $ file)
+    Term.(const check $ file $ Common_args.term)
 
 let translate_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.dl") in
-  let translate file =
+  let translate file common =
+    Common_args.with_reporting common @@ fun () ->
     let program, edb = load file in
     let tr = Translate.Datalog_to_alg.translate program edb in
     Fmt.pr "-- algebra= program (Proposition 6.1) --@.";
@@ -105,7 +107,98 @@ let translate_cmd =
   Cmd.v
     (Cmd.info "translate"
        ~doc:"Translate a safe deductive program to recursive algebra equations.")
-    Term.(const translate $ file)
+    Term.(const translate $ file $ Common_args.term)
+
+(* Updates files: one signed ground fact per line — "+edge(a,b)." inserts,
+   "-edge(a,b)." deletes — with '%' comments; blank lines separate batches
+   applied in sequence. *)
+let parse_updates builtins path =
+  let fail fmt = Fmt.kstr (fun m -> Fmt.epr "%s: %s@." path m; exit 2) fmt in
+  let parse_line line =
+    let line = String.trim line in
+    if line = "" then `Blank
+    else if line.[0] = '%' then `Comment
+    else
+      let sign, rest =
+        match line.[0] with
+        | '+' -> (true, String.sub line 1 (String.length line - 1))
+        | '-' -> (false, String.sub line 1 (String.length line - 1))
+        | _ -> (true, line)
+      in
+      match Datalog.Parser.parse_rule (String.trim rest) with
+      | Error msg -> fail "bad update %S: %s" line msg
+      | Ok rule when rule.Datalog.Rule.body <> [] ->
+        fail "update %S has a body; only ground facts can be updated" line
+      | Ok rule -> (
+        match
+          Datalog.Literal.ground_atom builtins Datalog.Subst.empty
+            rule.Datalog.Rule.head
+        with
+        | Some (pred, args) -> `Fact (sign, pred, args)
+        | None -> fail "update %S is not ground" line)
+  in
+  let batches, last =
+    List.fold_left
+      (fun (batches, current) line ->
+        match parse_line line with
+        | `Blank -> if current = [] then (batches, []) else (List.rev current :: batches, [])
+        | `Comment -> (batches, current)
+        | `Fact f -> (batches, f :: current))
+      ([], [])
+      (String.split_on_char '\n' (read_file path))
+  in
+  let batches = if last = [] then batches else List.rev last :: batches in
+  List.rev_map Datalog.Edb.Update.of_facts batches
+
+let update_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.dl") in
+  let updates =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"UPDATES"
+             ~doc:"Signed ground facts, one per line (+f(a). inserts, \
+                   -f(a). deletes); blank lines separate batches.")
+  in
+  let semantics =
+    let parse = Arg.enum
+        [ ("stratified", `Strat); ("valid", `Valid); ("wellfounded", `Wf);
+          ("inflationary", `Inf) ]
+    in
+    Arg.(value & opt parse `Strat
+         & info [ "semantics"; "s" ]
+             ~doc:"Semantics to maintain under updates.")
+  in
+  let update file updates semantics common =
+    let program, edb = load file in
+    let fuel = Common_args.fuel_of common in
+    let batches = parse_updates program.Datalog.Program.builtins updates in
+    Common_args.with_reporting common @@ fun () ->
+    match semantics with
+    | `Strat -> (
+      match Datalog.Incremental.init ~fuel program edb with
+      | Error e ->
+        Fmt.epr "error: %s@." e;
+        exit 1
+      | Ok t ->
+        let final =
+          List.fold_left (fun _ u -> Datalog.Incremental.update t u)
+            (Datalog.Incremental.result t) batches
+        in
+        Fmt.pr "%a@." Datalog.Edb.pp final)
+    | (`Valid | `Wf | `Inf) as s ->
+      let semantics =
+        match s with `Valid -> `Valid | `Wf -> `Wellfounded | `Inf -> `Inflationary
+      in
+      let live = Datalog.Run.Live.start ~fuel ~semantics program edb in
+      let final =
+        List.fold_left (fun _ u -> Datalog.Run.Live.update live u)
+          (Datalog.Run.Live.interp live) batches
+      in
+      pp_interp final
+  in
+  Cmd.v
+    (Cmd.info "update"
+       ~doc:"Maintain a program's result differentially under update batches.")
+    Term.(const update $ file $ updates $ semantics $ Common_args.term)
 
 let alg_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.alg") in
@@ -194,4 +287,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "recalg" ~doc)
-          [ run_cmd; check_cmd; translate_cmd; alg_cmd; query_cmd ]))
+          [ run_cmd; check_cmd; translate_cmd; alg_cmd; query_cmd; update_cmd ]))

@@ -21,6 +21,7 @@ module Value = Recalg_kernel.Value
 module Tvl = Recalg_kernel.Tvl
 module Builtins = Recalg_kernel.Builtins
 module Limits = Recalg_kernel.Limits
+module Zset = Recalg_kernel.Zset
 module Bitset = Recalg_kernel.Bitset
 module Interner = Recalg_kernel.Interner
 
@@ -52,6 +53,7 @@ module Datalog = struct
   module Valid = Recalg_datalog.Valid
   module Stable = Recalg_datalog.Stable
   module Interp = Recalg_datalog.Interp
+  module Incremental = Recalg_datalog.Incremental
   module Parser = Recalg_datalog.Parser
   module Run = Recalg_datalog.Run
   module Query = Recalg_datalog.Query
@@ -67,6 +69,7 @@ module Algebra = struct
   module Join = Recalg_algebra.Join
   module Eval = Recalg_algebra.Eval
   module Rec_eval = Recalg_algebra.Rec_eval
+  module Incremental = Recalg_algebra.Incremental
   module Positivity = Recalg_algebra.Positivity
   module Parser = Recalg_algebra.Parser
   module Printer = Recalg_algebra.Printer

@@ -210,6 +210,89 @@ let instantiate_rule st (r : Rule.t) ordered_body ~delta_pos =
         emit_rule st ~head ~pos:(List.rev pos_ids) ~neg:(List.rev neg_ids)
       | None -> ())
 
+let ordered_bodies program =
+  List.map
+    (fun (r : Rule.t) ->
+      match Safety.evaluation_order program.Program.builtins r.Rule.body with
+      | Ok body -> (r, body)
+      | Error msg -> raise (Unsafe msg))
+    program.Program.rules
+
+let promote st =
+  Hashtbl.iter
+    (fun _ s ->
+      s.full <- Tuples.union s.full s.delta;
+      s.delta <- s.next;
+      s.next <- Tuples.empty;
+      Hashtbl.reset s.indexes)
+    st.stores;
+  if Obs.enabled () then begin
+    let envelope, delta =
+      Hashtbl.fold
+        (fun _ s (e, d) ->
+          let dn = Tuples.cardinal s.delta in
+          (e + Tuples.cardinal s.full + dn, d + dn))
+        st.stores (0, 0)
+    in
+    Obs.count "ground/envelope" envelope;
+    Obs.count "ground/delta" delta
+  end
+
+let delta_nonempty st =
+  Hashtbl.fold (fun _ s acc -> acc || not (Tuples.is_empty s.delta)) st.stores false
+
+let close_seminaive st ordered =
+  while delta_nonempty st do
+    Obs.count "ground/round" 1;
+    List.iter
+      (fun (r, body) ->
+        List.iteri
+          (fun i lit ->
+            match lit with
+            | Literal.Pos _ -> instantiate_rule st r body ~delta_pos:(Some i)
+            | Literal.Neg _ | Literal.Eq _ | Literal.Neq _ -> ())
+          body)
+      ordered;
+    promote st
+  done
+
+let fresh_state ~fuel program =
+  {
+    program;
+    fuel;
+    atoms = Interner.create ~hash:Propgm.fact_hash ~equal:Propgm.fact_equal ();
+    stores = Hashtbl.create 16;
+    seen_rules = Hashtbl.create 256;
+    ground_rules = [];
+    idx_hits = 0;
+    idx_misses = 0;
+    scans = 0;
+  }
+
+(* Seed the envelope with the extensional database; EDB facts become
+   body-less ground rules so every semantics sees them as axioms. *)
+let seed_axioms st edb =
+  Edb.fold
+    (fun pred tup () ->
+      let id = intern_fact st (pred, tup) in
+      emit_rule st ~head:id ~pos:[] ~neg:[])
+    edb ()
+
+let propgm_of st =
+  { Propgm.atoms = st.atoms; rules = Array.of_list (List.rev st.ground_rules) }
+
+let flush_probe_counters st =
+  if Obs.enabled () then begin
+    Obs.count "ground/index_hit" st.idx_hits;
+    Obs.count "ground/index_miss" st.idx_misses;
+    Obs.count "ground/scan" st.scans;
+    st.idx_hits <- 0;
+    st.idx_misses <- 0;
+    st.scans <- 0;
+    Obs.count "ground/atoms" (Interner.size st.atoms);
+    Obs.count "ground/rules" (List.length st.ground_rules)
+  end
+
 let ground ?(fuel = Limits.default ()) ?(strategy = `Seminaive) ?hashcons
     program edb =
   (* Scope the hash-consing mode over the whole grounding — the
@@ -219,94 +302,191 @@ let ground ?(fuel = Limits.default ()) ?(strategy = `Seminaive) ?hashcons
   | Some mode -> Value.Hashcons.with_mode mode)
   @@ fun () ->
   Obs.span "ground" @@ fun () ->
-  let st =
-    {
-      program;
-      fuel;
-      atoms =
-        Interner.create ~hash:Propgm.fact_hash ~equal:Propgm.fact_equal ();
-      stores = Hashtbl.create 16;
-      seen_rules = Hashtbl.create 256;
-      ground_rules = [];
-      idx_hits = 0;
-      idx_misses = 0;
-      scans = 0;
-    }
-  in
-  (* Seed the envelope with the extensional database; EDB facts become
-     body-less ground rules so every semantics sees them as axioms. *)
-  Edb.fold
-    (fun pred tup () ->
-      let id = intern_fact st (pred, tup) in
-      emit_rule st ~head:id ~pos:[] ~neg:[])
-    edb ();
-  let ordered_bodies =
-    List.map
-      (fun (r : Rule.t) ->
-        match Safety.evaluation_order program.Program.builtins r.Rule.body with
-        | Ok body -> (r, body)
-        | Error msg -> raise (Unsafe msg))
-      program.Program.rules
-  in
-  let promote () =
-    Hashtbl.iter
-      (fun _ s ->
-        s.full <- Tuples.union s.full s.delta;
-        s.delta <- s.next;
-        s.next <- Tuples.empty;
-        Hashtbl.reset s.indexes)
-      st.stores;
-    if Obs.enabled () then begin
-      let envelope, delta =
-        Hashtbl.fold
-          (fun _ s (e, d) ->
-            let dn = Tuples.cardinal s.delta in
-            (e + Tuples.cardinal s.full + dn, d + dn))
-          st.stores (0, 0)
-      in
-      Obs.count "ground/envelope" envelope;
-      Obs.count "ground/delta" delta
-    end
-  in
-  let delta_nonempty () =
-    Hashtbl.fold (fun _ s acc -> acc || not (Tuples.is_empty s.delta)) st.stores false
-  in
-  promote ();
+  let st = fresh_state ~fuel program in
+  seed_axioms st edb;
+  let ordered = ordered_bodies program in
+  promote st;
   (* First pass without a delta restriction covers rules whose bodies have
      no positive literal and seeds everything else. *)
-  List.iter (fun (r, body) -> instantiate_rule st r body ~delta_pos:None) ordered_bodies;
-  promote ();
+  List.iter (fun (r, body) -> instantiate_rule st r body ~delta_pos:None) ordered;
+  promote st;
   (match strategy with
-  | `Seminaive ->
-    while delta_nonempty () do
-      Obs.count "ground/round" 1;
-      List.iter
-        (fun (r, body) ->
-          List.iteri
-            (fun i lit ->
-              match lit with
-              | Literal.Pos _ -> instantiate_rule st r body ~delta_pos:(Some i)
-              | Literal.Neg _ | Literal.Eq _ | Literal.Neq _ -> ())
-            body)
-        ordered_bodies;
-      promote ()
-    done
+  | `Seminaive -> close_seminaive st ordered
   | `Naive ->
     let changed = ref true in
     while !changed do
       Obs.count "ground/round" 1;
       let before = Hashtbl.length st.seen_rules in
-      List.iter
-        (fun (r, body) -> instantiate_rule st r body ~delta_pos:None)
-        ordered_bodies;
-      promote ();
-      changed := Hashtbl.length st.seen_rules > before || delta_nonempty ()
+      List.iter (fun (r, body) -> instantiate_rule st r body ~delta_pos:None) ordered;
+      promote st;
+      changed := Hashtbl.length st.seen_rules > before || delta_nonempty st
     done);
-  if Obs.enabled () then begin
-    Obs.count "ground/index_hit" st.idx_hits;
-    Obs.count "ground/index_miss" st.idx_misses;
-    Obs.count "ground/scan" st.scans;
-    Obs.count "ground/atoms" (Interner.size st.atoms);
-    Obs.count "ground/rules" (List.length st.ground_rules)
-  end;
-  { Propgm.atoms = st.atoms; rules = Array.of_list (List.rev st.ground_rules) }
+  flush_probe_counters st;
+  propgm_of st
+
+(* Resident grounding under update batches.
+
+   The envelope is monotone in the extensional database — [solve] never
+   lets a negative literal filter — so insertions are a semi-naive
+   continuation: the new facts enter as axiom rules, become the delta,
+   and the ordinary closing rounds extend the materialization.
+
+   Deletions exploit that the materialized ground rules record the whole
+   derivation structure of the envelope. Removing the deleted facts'
+   axiom rules and recomputing atom liveness over the remaining rules (a
+   rule supports its head once every positive body atom is live) yields
+   exactly the envelope of the shrunk database; dead rules and dead
+   store tuples are pruned. One conservative corner: a fact that is both
+   extensional and the head of a body-less rule instance shares a single
+   materialized rule with its axiom, so retraction can overdelete it —
+   the full re-instantiation pass that follows rederives it, DRed-style.
+
+   Atoms stay interned forever: the interner cannot shrink, but a stale
+   atom heads no rule, so every semantics maps it to false and
+   interpretation-level equality with a from-scratch grounding holds. *)
+module Live = struct
+  type nonrec t = {
+    st : state;
+    ordered : (Rule.t * Literal.t list) list;
+    mutable edb : Edb.t;
+  }
+
+  let start ?(fuel = Limits.default ()) program edb =
+    Obs.span "ground.live_start" @@ fun () ->
+    let st = fresh_state ~fuel program in
+    seed_axioms st edb;
+    let ordered = ordered_bodies program in
+    promote st;
+    List.iter (fun (r, body) -> instantiate_rule st r body ~delta_pos:None) ordered;
+    promote st;
+    close_seminaive st ordered;
+    flush_probe_counters st;
+    { st; ordered; edb }
+
+  let edb t = t.edb
+  let propgm t = propgm_of t.st
+
+  module Iset = Set.Make (Int)
+
+  let rule_key (r : Propgm.rule) =
+    ( r.Propgm.head,
+      List.sort Int.compare (Array.to_list r.Propgm.pos),
+      List.sort Int.compare (Array.to_list r.Propgm.neg) )
+
+  let retract t dels =
+    let st = t.st in
+    (* Drop the deleted facts' axiom rules. *)
+    let dead_axioms =
+      Edb.fold
+        (fun pred tup acc ->
+          match Interner.find_opt st.atoms (pred, tup) with
+          | Some id -> Iset.add id acc
+          | None -> acc)
+        dels Iset.empty
+    in
+    let candidates =
+      List.filter
+        (fun (r : Propgm.rule) ->
+          not
+            (Array.length r.Propgm.pos = 0
+            && Array.length r.Propgm.neg = 0
+            && Iset.mem r.Propgm.head dead_axioms))
+        st.ground_rules
+    in
+    (* Atom liveness over the remaining rules, as a least fixpoint from
+       scratch — support counts cannot simply be decremented, because
+       facts may have supported each other in a cycle reachable only
+       through a deleted fact. Counting worklist: each rule holds the
+       number of its not-yet-live positive occurrences; a rule reaching
+       zero makes its head live, waking the rules waiting on it. *)
+    let live : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+    let waiting : (int, (int ref * Propgm.rule) list) Hashtbl.t =
+      Hashtbl.create 256
+    in
+    let queue = Queue.create () in
+    let mark id =
+      if not (Hashtbl.mem live id) then begin
+        Hashtbl.add live id ();
+        Queue.push id queue
+      end
+    in
+    let entries =
+      List.map
+        (fun (r : Propgm.rule) ->
+          let unmet = ref (Array.length r.Propgm.pos) in
+          Array.iter
+            (fun a ->
+              let l = Option.value (Hashtbl.find_opt waiting a) ~default:[] in
+              Hashtbl.replace waiting a ((unmet, r) :: l))
+            r.Propgm.pos;
+          if !unmet = 0 then mark r.Propgm.head;
+          (unmet, r))
+        candidates
+    in
+    while not (Queue.is_empty queue) do
+      let a = Queue.pop queue in
+      Limits.spend st.fuel ~what:"grounder: liveness";
+      match Hashtbl.find_opt waiting a with
+      | None -> ()
+      | Some l ->
+        Hashtbl.remove waiting a;
+        List.iter
+          (fun (unmet, (r : Propgm.rule)) ->
+            decr unmet;
+            if !unmet = 0 then mark r.Propgm.head)
+          l
+    done;
+    let kept =
+      List.filter_map
+        (fun (unmet, r) -> if !unmet = 0 then Some r else None)
+        entries
+    in
+    Obs.countf "incr/ground_pruned_rules" (fun () ->
+        List.length st.ground_rules - List.length kept);
+    st.ground_rules <- kept;
+    Hashtbl.reset st.seen_rules;
+    List.iter (fun r -> Hashtbl.replace st.seen_rules (rule_key r) ()) kept;
+    (* Prune dead envelope tuples and invalidate the per-store indexes.
+       Between updates [delta]/[next] are empty, so [full] is the whole
+       envelope. *)
+    Hashtbl.iter
+      (fun pred s ->
+        s.full <-
+          Tuples.filter
+            (fun tup ->
+              match Interner.find_opt st.atoms (pred, tup) with
+              | Some id -> Hashtbl.mem live id
+              | None -> false)
+            s.full;
+        s.delta <- Tuples.empty;
+        s.next <- Tuples.empty;
+        Hashtbl.reset s.indexes)
+      st.stores
+
+  let update t u =
+    Obs.span "ground.live_update" @@ fun () ->
+    let adds, dels = Edb.Update.effective t.edb u in
+    t.edb <- Edb.Update.apply u t.edb;
+    let n_adds = Edb.fold (fun _ _ n -> n + 1) adds 0
+    and n_dels = Edb.fold (fun _ _ n -> n + 1) dels 0 in
+    if n_adds + n_dels > 0 then begin
+      Obs.count "incr/ground_insertions" n_adds;
+      Obs.count "incr/ground_retractions" n_dels;
+      Limits.spend t.st.fuel ~what:"grounder: update batch";
+      if n_dels > 0 then retract t dels;
+      seed_axioms t.st adds;
+      promote t.st;
+      if n_dels > 0 then begin
+        (* Rederive: one unrestricted pass re-fires every rule against
+           the pruned envelope, resurrecting the conservatively
+           overdeleted instances noted above, before closing up. *)
+        List.iter
+          (fun (r, body) -> instantiate_rule t.st r body ~delta_pos:None)
+          t.ordered;
+        promote t.st
+      end;
+      close_seminaive t.st t.ordered;
+      flush_probe_counters t.st
+    end;
+    propgm_of t.st
+end

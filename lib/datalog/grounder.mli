@@ -29,3 +29,36 @@ val ground :
     grounding — [Off] is the structural-equality ablation baseline;
     omitted, the ambient mode is left untouched. Either mode produces an
     identical propositional program. *)
+
+(** Resident grounding maintained under {!Edb.Update} batches.
+
+    The envelope is monotone in the extensional database (negative
+    literals never filter during grounding), so insertions continue the
+    semi-naive instantiation from the materialized state. Deletions
+    retract: the deleted facts' axiom rules are removed, atom liveness is
+    recomputed over the materialized ground rules (a counting-worklist
+    least fixpoint), dead rules and dead envelope tuples are pruned, and
+    a rederivation pass plus closing rounds restore exactness.
+
+    Interned atoms are never forgotten — a stale atom heads no rule and
+    is therefore false under every semantics, so the maintained program
+    is {!Interp.equal}-indistinguishable from grounding the updated
+    database from scratch (the guarantee QCheck exercises in
+    [test_incremental.ml]). *)
+module Live : sig
+  type t
+
+  val start :
+    ?fuel:Recalg_kernel.Limits.fuel -> Program.t -> Edb.t -> t
+  (** Ground [program] over [edb] and keep the instantiation state
+      resident. *)
+
+  val edb : t -> Edb.t
+  (** The current (post-update) extensional database. *)
+
+  val propgm : t -> Propgm.t
+  (** The current propositional program, for the semantics engines. *)
+
+  val update : t -> Edb.Update.t -> Propgm.t
+  (** Apply a batch and return the repaired propositional program. *)
+end

@@ -20,6 +20,36 @@ let stratified ?fuel program edb =
 
 let holds ?fuel program edb pred args = Interp.holds (valid ?fuel program edb) pred args
 
+module Live = struct
+  type semantics = [ `Valid | `Wellfounded | `Inflationary ]
+
+  type t = {
+    semantics : semantics;
+    ground : Grounder.Live.t;
+    mutable interp : Interp.t;
+  }
+
+  let solve semantics pg =
+    match semantics with
+    | `Valid -> Valid.solve pg
+    | `Wellfounded -> Wellfounded.solve pg
+    | `Inflationary -> Inflationary.solve pg
+
+  let start ?fuel ~semantics program edb =
+    Obs.span "run.live_start" @@ fun () ->
+    let ground = Grounder.Live.start ?fuel program edb in
+    { semantics; ground; interp = solve semantics (Grounder.Live.propgm ground) }
+
+  let interp t = t.interp
+  let edb t = Grounder.Live.edb t.ground
+
+  let update t u =
+    Obs.span "run.live_update" @@ fun () ->
+    let pg = Grounder.Live.update t.ground u in
+    t.interp <- solve t.semantics pg;
+    t.interp
+end
+
 let with_obs sink f =
   Obs.with_sink sink @@ fun () ->
   Fun.protect

@@ -18,6 +18,32 @@ val holds :
 (** Valid-semantics truth value of one ground query "R(ā)?" (Section 4's
     query form). *)
 
+(** Resident evaluation under {!Edb.Update} batches for the
+    grounding-based semantics: the grounding is maintained
+    differentially ({!Grounder.Live} — semi-naive extension on insert,
+    liveness retraction on delete), then the chosen semantics re-solves
+    the repaired propositional program. Grounding dominates evaluation
+    cost on these paths, so the maintenance is where the win is; the
+    propositional solve is linear-ish in the ground program.
+
+    Stratified semantics has no grounding to maintain — use
+    {!Incremental} for its differential path. *)
+module Live : sig
+  type t
+  type semantics = [ `Valid | `Wellfounded | `Inflationary ]
+
+  val start :
+    ?fuel:Limits.fuel -> semantics:semantics -> Program.t -> Edb.t -> t
+
+  val interp : t -> Interp.t
+  (** The current interpretation (post last update). *)
+
+  val edb : t -> Edb.t
+
+  val update : t -> Edb.Update.t -> Interp.t
+  (** Apply a batch, repair the grounding, and re-solve. *)
+end
+
 val with_obs : Recalg_obs.Sink.t -> (unit -> 'a) -> 'a
 (** Run a thunk with the given observability sink installed
     ({!Recalg_obs.Obs.with_sink}): every engine invoked inside reports

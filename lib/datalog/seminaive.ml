@@ -75,10 +75,17 @@ let ordered_rules program rules =
       | Error msg -> raise (Unsafe msg))
     rules
 
-let run ~variant ?(fuel = Limits.default ()) program ~base rules =
-  Obs.span "seminaive" @@ fun () ->
+(* The shared fixpoint loop: [stores] arrive pre-seeded (that is the only
+   difference between a from-scratch run and a resumed one). The first
+   round is governed by [first]: [`Full] runs it unrestricted (the
+   from-scratch seeding, and DRed's rederivation pass), while
+   [`Adds adds] fires only delta-restricted instantiations whose frontier
+   is the newly inserted extensional facts (plus any new derived-pred
+   axioms already sitting in the store deltas) — the semi-naive
+   continuation, which never rescans the materialized bulk. Afterwards,
+   delta-restricted rounds close up either way. *)
+let eval_loop ~variant ~first ~fuel program ~base ~stores ~derived rules =
   let builtins = program.Program.builtins in
-  let stores : (string, store) Hashtbl.t = Hashtbl.create 16 in
   let store_of pred =
     match Hashtbl.find_opt stores pred with
     | Some s -> s
@@ -87,19 +94,6 @@ let run ~variant ?(fuel = Limits.default ()) program ~base rules =
       Hashtbl.add stores pred s;
       s
   in
-  let derived = List.map Rule.head_pred rules in
-  (* A derived predicate may also have extensional facts (ground facts of
-     the same name in the database); they behave as axioms, i.e. as part
-     of the initial "old" facts. *)
-  let seeded = Hashtbl.create 8 in
-  let seed pred =
-    if not (Hashtbl.mem seeded pred) then begin
-      Hashtbl.add seeded pred ();
-      let s = store_of pred in
-      List.iter (fun tup -> s.full <- Tuples.add tup s.full) (Edb.tuples base pred)
-    end
-  in
-  List.iter seed derived;
   let lookup pred src =
     if List.mem pred derived then begin
       let s = store_of pred in
@@ -143,9 +137,52 @@ let run ~variant ?(fuel = Limits.default ()) program ~base rules =
   let derived_this_round () =
     Hashtbl.fold (fun _ s acc -> acc + Tuples.cardinal s.next) stores 0
   in
-  (* First round: no delta restriction. *)
   Obs.count "seminaive/round" 1;
-  List.iter (fun (r, body) -> derive r body ~delta_pos:None) ordered;
+  (match first with
+  | `Full -> List.iter (fun (r, body) -> derive r body ~delta_pos:None) ordered
+  | `Adds adds ->
+    (* Every genuinely new derivation consumes at least one new fact at
+       some body position (induction over rounds); firing each position
+       whose predicate has new facts, with the standard old/delta/all
+       split, covers exactly those instantiations. *)
+    let old_base = Edb.diff base adds in
+    let seed_lookup pred src =
+      if List.mem pred derived then lookup pred src
+      else
+        match src with
+        | Delta -> Edb.tuples adds pred
+        | Old -> Edb.tuples old_base pred
+        | All -> Edb.tuples base pred
+    in
+    let delta_nonempty_for pred =
+      if List.mem pred derived then
+        not (Tuples.is_empty (store_of pred).delta)
+      else Edb.cardinal adds pred > 0
+    in
+    List.iter
+      (fun ((r : Rule.t), body) ->
+        List.iteri
+          (fun i lit ->
+            match lit with
+            | Literal.Pos a when delta_nonempty_for a.Literal.pred ->
+              solve builtins seed_lookup body 0 (Some i) Subst.empty
+                (fun subst ->
+                  match Literal.ground_atom builtins subst r.Rule.head with
+                  | Some (pred, args) ->
+                    let s = store_of pred in
+                    if
+                      not
+                        (Tuples.mem args s.full || Tuples.mem args s.delta
+                       || Tuples.mem args s.next)
+                    then begin
+                      Limits.spend fuel ~what:"seminaive: fact";
+                      s.next <- Tuples.add args s.next
+                    end
+                  | None -> ())
+            | Literal.Pos _ | Literal.Neg _ | Literal.Eq _ | Literal.Neq _ ->
+              ())
+          body)
+      ordered);
   Obs.countf "seminaive/derived" derived_this_round;
   promote ();
   while delta_nonempty () do
@@ -171,6 +208,77 @@ let run ~variant ?(fuel = Limits.default ()) program ~base rules =
   Hashtbl.fold
     (fun pred s acc -> Edb.add_all pred (Tuples.elements s.full) acc)
     stores Edb.empty
+
+let run ~variant ?(fuel = Limits.default ()) program ~base rules =
+  Obs.span "seminaive" @@ fun () ->
+  let stores : (string, store) Hashtbl.t = Hashtbl.create 16 in
+  let derived = List.map Rule.head_pred rules in
+  (* A derived predicate may also have extensional facts (ground facts of
+     the same name in the database); they behave as axioms, i.e. as part
+     of the initial "old" facts. *)
+  List.iter
+    (fun pred ->
+      if not (Hashtbl.mem stores pred) then begin
+        let s =
+          { full = Tuples.of_list (Edb.tuples base pred);
+            delta = Tuples.empty;
+            next = Tuples.empty }
+        in
+        Hashtbl.add stores pred s
+      end)
+    derived;
+  eval_loop ~variant ~first:`Full ~fuel program ~base ~stores ~derived rules
+
+let resume ?(fuel = Limits.default ()) ?adds program ~base ~init rules =
+  Obs.span "seminaive.resume" @@ fun () ->
+  let stores : (string, store) Hashtbl.t = Hashtbl.create 16 in
+  let derived = List.map Rule.head_pred rules in
+  (* Seed full from the materialized previous state; extensional facts of
+     derived predicates that are new in [base] enter as the initial delta
+     — they are new axioms. With [adds] the first round fires only the
+     delta-restricted instantiations drawn from the new facts (pure
+     semi-naive continuation, for the insert-only path); without it the
+     first round wakes every rule against the resumed state (the
+     rederivation pass DRed needs). Starting below the fixpoint of the
+     rules over [base] is the caller's obligation; from there the loop
+     converges to exactly the from-scratch result. *)
+  List.iter
+    (fun pred ->
+      if not (Hashtbl.mem stores pred) then begin
+        let full = Tuples.of_list (Edb.tuples init pred) in
+        let axioms = Tuples.of_list (Edb.tuples base pred) in
+        let s =
+          { full; delta = Tuples.diff axioms full; next = Tuples.empty }
+        in
+        Hashtbl.add stores pred s
+      end)
+    derived;
+  let first = match adds with None -> `Full | Some a -> `Adds a in
+  eval_loop ~variant:`Seminaive ~first ~fuel program ~base ~stores ~derived
+    rules
+
+let delta_heads program ~base ~frontier rules =
+  let builtins = program.Program.builtins in
+  let lookup pred src =
+    match src with
+    | Delta -> Edb.tuples frontier pred
+    | Old | All -> Edb.tuples base pred
+  in
+  let out = ref Edb.empty in
+  List.iter
+    (fun ((r : Rule.t), body) ->
+      List.iteri
+        (fun i lit ->
+          match lit with
+          | Literal.Pos a when Edb.cardinal frontier a.Literal.pred > 0 ->
+            solve builtins lookup body 0 (Some i) Subst.empty (fun subst ->
+                match Literal.ground_atom builtins subst r.Rule.head with
+                | Some (pred, args) -> out := Edb.add pred args !out
+                | None -> ())
+          | Literal.Pos _ | Literal.Neg _ | Literal.Eq _ | Literal.Neq _ -> ())
+        body)
+    (ordered_rules program rules);
+  !out
 
 let naive ?fuel program ~base rules = run ~variant:`Naive ?fuel program ~base rules
 

@@ -25,3 +25,32 @@ val stratified :
 (** Stratify and evaluate stratum by stratum (semi-naive within each);
     [Error] when the program is not stratified or not safe. The result
     contains EDB and all derived relations. *)
+
+(** {1 Incremental building blocks}
+
+    Primitives for the differential update path ({!Incremental}): resume
+    a materialized fixpoint instead of recomputing it, and fire one
+    delta-restricted round for delete propagation. *)
+
+val resume :
+  ?fuel:Limits.fuel -> ?adds:Edb.t -> Program.t -> base:Edb.t -> init:Edb.t ->
+  Rule.t list -> Edb.t
+(** Continue semi-naive evaluation from the materialized state [init]
+    (the derived relations of a previous run, possibly shrunk by an
+    overdeletion pass). With [adds] — the newly inserted extensional
+    facts — the first round fires only the delta-restricted
+    instantiations drawn from them: the pure semi-naive continuation,
+    whose cost scales with the change, not the materialization. Without
+    [adds], one unrestricted round wakes every rule against [init] and
+    the current [base] — catching rederivations, as the DRed remainder
+    requires — before delta-restricted rounds close up. When [init] is
+    below the least fixpoint of [rules] over [base] (true for
+    insert-only continuation and for DRed remainders of negation-free
+    programs), the result equals {!seminaive} from scratch. *)
+
+val delta_heads :
+  Program.t -> base:Edb.t -> frontier:Edb.t -> Rule.t list -> Edb.t
+(** One delta-restricted firing: all rule-head facts derivable with some
+    positive body literal drawn from [frontier] and the rest of the body
+    from [base] — the single-step dependents of the frontier facts, used
+    to propagate overdeletion. *)

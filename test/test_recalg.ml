@@ -4,6 +4,9 @@ let () =
   Alcotest.run "recalg"
     [
       ("kernel", Test_kernel.suite);
+      ("zset", Test_zset.suite);
+      ("incremental", Test_incremental.suite);
+      ("cli", Test_cli_args.suite);
       ("datalog", Test_datalog.suite);
       ("program", Test_program.suite);
       ("query", Test_query.suite);

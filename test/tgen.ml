@@ -4,6 +4,16 @@
 
 open Recalg
 
+(* CI knob: the incremental-equivalence job elevates QCheck iteration
+   counts via RECALG_QCHECK_COUNT without patching the test sources. *)
+let qcount default =
+  match Sys.getenv_opt "RECALG_QCHECK_COUNT" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n > 0 -> max default n
+    | Some _ | None -> default)
+  | None -> default
+
 let node_names = [ "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h" ]
 
 (* A random directed graph over up to [n] named nodes, as an edge list. *)
@@ -272,3 +282,21 @@ let printable_set_gen =
     map Value.set (list_size (int_range 0 4) (node 2)))
 
 let printable_set_arb = QCheck.make ~print:Value.to_string printable_set_gen
+
+(* Random Z-sets over small integer values, weights in [-3, 3] — the
+   instance family for the Z-set group and boundary laws. *)
+let zset_gen =
+  QCheck.Gen.(
+    let* entries =
+      list_size (int_range 0 8) (pair (int_range 0 6) (int_range (-3) 3))
+    in
+    return (Zset.of_list (List.map (fun (v, w) -> (Value.int v, w)) entries)))
+
+let zset_arb = QCheck.make ~print:Zset.to_string zset_gen
+
+let zset_triple_arb =
+  QCheck.make
+    ~print:(fun (a, b, c) ->
+      Fmt.str "%s %s %s" (Zset.to_string a) (Zset.to_string b)
+        (Zset.to_string c))
+    QCheck.Gen.(triple zset_gen zset_gen zset_gen)
