@@ -670,11 +670,123 @@ let e12 () =
         kinds)
     sizes
 
+(* ------------------------------------------------------------------ *)
+(* E13 — multicore scaling: the same engines at 1/2/4/8 worker domains. *)
+
+let e13 () =
+  U.hr "E13: multicore scaling, domains 1/2/4/8 (byte-identical results)";
+  let cores = Domain.recommended_domain_count () in
+  U.row "(machine reports %d recommended domain(s); speedups above that \
+         count measure oversubscription)@." cores;
+  U.row "%-22s %8s %12s %9s %11s %6s@." "workload" "domains" "ms" "speedup"
+    "pool tasks" "agree";
+  let domain_counts = if U.is_smoke () then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  (* One workload, one scaling curve: evaluate at each domain count,
+     compare every result against the domains:1 run (the engines promise
+     byte identity — [assert]ed, not just reported), and record the
+     structural fingerprint so a later run at another domain count can be
+     checked against this one from the JSON alone. *)
+  let curve name eval ~equal ~fingerprint =
+    let base = ref None in
+    List.iter
+      (fun d ->
+        Pool.set_domains d;
+        Pool.Stats.reset ();
+        let ms, result = U.time_ms eval in
+        let tasks = (Pool.Stats.snapshot ()).Pool.Stats.tasks in
+        let agree, speedup =
+          match !base with
+          | None ->
+            base := Some (result, ms);
+            (true, 1.0)
+          | Some (r0, ms0) -> (equal r0 result, ms0 /. ms)
+        in
+        assert agree;
+        U.row "%-22s %8d %12.2f %8.2fx %11d %6b@." name d ms speedup tasks
+          agree;
+        U.record
+          [ ("experiment", U.S "e13");
+            ("workload", U.S name);
+            ("domains", U.I d);
+            ("cores", U.I cores);
+            ("ms", U.F ms);
+            ("speedup_vs_1", U.F speedup);
+            ("pool_tasks", U.I tasks);
+            ("fingerprint", U.I (fingerprint result));
+            ("agree", U.B agree) ])
+      domain_counts;
+    Pool.set_domains 1
+  in
+  let no_defs = Algebra.Defs.make [] in
+  (* Per-fact structural hashes, xor-combined: order-independent and
+     stable across processes (Value.hash is the memoized FNV mix). *)
+  let edb_fingerprint edb =
+    Datalog.Edb.fold
+      (fun pred args acc ->
+        acc lxor Value.hash (Value.tuple (Value.sym pred :: args)))
+      edb 0
+  in
+  (* The IFP curves run the naive strategy deliberately: its per-round
+     join probes the whole accumulated set (thousands of elements), so
+     the partitioned parallel join actually engages. Semi-naive deltas
+     on these graphs stay below {!Algebra.Join.par_threshold} — correct
+     behaviour (tiny joins would only pay queue overhead) but nothing to
+     measure; the wide-strata curves below cover the semi-naive engine
+     with coarse per-component tasks instead. *)
+  let naive = Algebra.Delta.Naive in
+  (* 1. Flat-integer chain TC (E2's shape): join-dominated with cheap
+     keys — the honest hard case, where partitioning overhead competes
+     with very little per-tuple work. *)
+  let n = if U.is_smoke () then 48 else 96 in
+  let chain_db = W.db_of ~rel:"edge" (W.chain n) in
+  curve
+    (Printf.sprintf "tc_chain_%d" n)
+    (fun () -> Algebra.Eval.eval ~strategy:naive no_defs chain_db W.tc_ifp)
+    ~equal:Value.equal ~fingerprint:Value.hash;
+  (* 2. Deep-constructor TC on a cycle (E11's shape): every probe
+     carries Peano terms, so the parallel partitions do real work. *)
+  let pn = if U.is_smoke () then 16 else 32 in
+  let peano_db = W.peano_db ~rel:"edge" (W.cycle pn) in
+  curve
+    (Printf.sprintf "peano_tc_cycle_%d" pn)
+    (fun () -> Algebra.Eval.eval ~strategy:naive no_defs peano_db W.tc_ifp)
+    ~equal:Value.equal ~fingerprint:Value.hash;
+  (* 3. Wide strata, datalog driver: 8 independent TCs in one stratum;
+     the component split gives the pool 8 coarse tasks per stratum. *)
+  let k = 8 in
+  let wn = if U.is_smoke () then 16 else 32 in
+  let wide_program = W.wide_strata_program k in
+  let wide_edb = W.wide_strata_edb k wn in
+  curve
+    (Printf.sprintf "wide_strata_%dx%d" k wn)
+    (fun () ->
+      match Datalog.Run.stratified wide_program wide_edb with
+      | Ok db -> db
+      | Error e -> failwith e)
+    ~equal:Datalog.Edb.equal ~fingerprint:edb_fingerprint;
+  (* 4. The same wide workload through the Theorem 4.3 translation:
+     each component becomes its own IFP constant, evaluated as a pool
+     task by [eval_all]. *)
+  curve
+    (Printf.sprintf "wide_eval_all_%dx%d" k wn)
+    (fun () ->
+      match Translate.Stratified_to_ifp.translate wide_program wide_edb with
+      | Ok tr -> Translate.Stratified_to_ifp.eval_all tr
+      | Error e -> failwith e)
+    ~equal:(fun a b ->
+      List.equal
+        (fun (p1, v1) (p2, v2) -> String.equal p1 p2 && Value.equal v1 v2)
+        a b)
+    ~fingerprint:(fun rows ->
+      List.fold_left
+        (fun acc (p, v) -> acc lxor Value.hash (Value.pair (Value.sym p) v))
+        0 rows)
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12);
+    ("e12", e12); ("e13", e13);
   ]
 
 let () =
@@ -718,7 +830,7 @@ let () =
           | None ->
             if String.equal name "micro" then micro ()
             else begin
-              Fmt.epr "unknown experiment %s (e1..e12, micro)@." name;
+              Fmt.epr "unknown experiment %s (e1..e13, micro)@." name;
               exit 2
             end)
         names

@@ -115,6 +115,36 @@ let inverse e =
     (Algebra.Efun.Tuple_of [ Algebra.Efun.Proj 2; Algebra.Efun.Proj 1 ])
     e
 
+(* --- wide strata: k independent transitive closures --- *)
+
+(* [k] mutually independent TC programs t1..tk over disjoint edge
+   relations e1..ek. Stratification puts all the [ti] in one stratum
+   (equal height), but the dependency graph splits it into [k]
+   components — the workload the component-parallel stratified driver
+   and {!Translate.Stratified_to_ifp.eval_all} fan out over. *)
+let wide_strata_program k =
+  let rules =
+    String.concat " "
+      (List.init k (fun i ->
+           let t = Printf.sprintf "t%d" (i + 1)
+           and e = Printf.sprintf "e%d" (i + 1) in
+           Printf.sprintf "%s(X,Y) :- %s(X,Y). %s(X,Z) :- %s(X,Y), %s(Y,Z)."
+             t e t e t))
+  in
+  fst (Datalog.Parser.parse_exn rules)
+
+(* Each relation e1..ek holds its own [chain n] on disjoint nodes. *)
+let wide_strata_edb k n =
+  List.fold_left
+    (fun edb i ->
+      let pred = Printf.sprintf "e%d" (i + 1) in
+      List.fold_left
+        (fun edb (a, b) ->
+          let off x = vi ((1000 * i) + x) in
+          Datalog.Edb.add pred [ off a; off b ] edb)
+        edb (chain n))
+    Datalog.Edb.empty (List.init k Fun.id)
+
 let sg_body x =
   let open Algebra.Expr in
   let nodes = union (pi 1 (rel "edge")) (pi 2 (rel "edge")) in

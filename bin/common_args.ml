@@ -10,11 +10,31 @@ type t = {
   stats : bool;
   trace : string option;
   profile : bool;
+  domains : int;
 }
+
+let default_domains () =
+  match Sys.getenv_opt "RECALG_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> 1)
+  | None -> 1
 
 let term =
   let fuel =
     Arg.(value & opt int 1_000_000 & info [ "fuel" ] ~doc:"Evaluation step budget.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt int (default_domains ())
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Evaluate with $(docv) worker domains: parallel hash joins, \
+             per-rule semi-naive rounds and independent strata. Results \
+             are byte-identical at every domain count; the default is \
+             $(b,RECALG_DOMAINS) or 1 (sequential).")
   in
   let stats =
     Arg.(
@@ -43,18 +63,22 @@ let term =
              span timings, fixpoint iteration counts and per-engine \
              counters.")
   in
-  let make fuel stats trace profile = { fuel; stats; trace; profile } in
-  Term.(const make $ fuel $ stats $ trace $ profile)
+  let make fuel stats trace profile domains =
+    { fuel; stats; trace; profile; domains }
+  in
+  Term.(const make $ fuel $ stats $ trace $ profile $ domains)
 
 let fuel_of t = Limits.of_int t.fuel
 
 let report_stats t =
   if t.stats then Fmt.epr "%a@." Value.Stats.pp (Value.Stats.snapshot ())
 
-(* Run [f] with whatever reporting [t] asks for. With neither --trace nor
-   --profile no sink is installed, so the engines' instrumentation stays
-   disabled no-ops. *)
+(* Run [f] with whatever reporting [t] asks for, on the pool size [t]
+   requests (the workers are joined at process exit). With neither
+   --trace nor --profile no sink is installed, so the engines'
+   instrumentation stays disabled no-ops. *)
 let with_reporting t f =
+  Pool.set_domains t.domains;
   match t.trace, t.profile with
   | None, false -> Fun.protect ~finally:(fun () -> report_stats t) f
   | _ ->

@@ -53,10 +53,21 @@ val exec_zset :
     indexed, the larger probed; the result does not depend on the
     choice. *)
 
+val par_threshold : int ref
+(** Minimum build+probe size (element count) for {!exec} to fan out over
+    the {!Recalg_kernel.Pool} when it is parallel; below it — and always
+    at pool size 1 — the join runs sequentially. Default [1024]. The
+    result is byte-identical on both paths (hash partitioning splits the
+    pairs, [Value.union_all] merges canonical sets), so this is purely a
+    cost knob; tests and benches lower it to force the parallel path on
+    small inputs. *)
+
 val exec : Recalg_kernel.Builtins.t -> t -> Recalg_kernel.Value.t ->
   Recalg_kernel.Value.t -> Recalg_kernel.Value.t
 (** [exec builtins plan left right] hash-joins the two sets: it indexes
     [right] by [right_key], probes with [left_key] per left element, and
     keeps the pairs passing [residual]. Equals
     [filter (p = Some true) (product left right)] for the planned [p],
-    byte for byte. *)
+    byte for byte. With a parallel pool and at least {!par_threshold}
+    elements, both sides are partitioned by key hash and the partitions
+    join as independent pool tasks — same result, merged canonically. *)

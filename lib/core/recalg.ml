@@ -21,6 +21,7 @@ module Value = Recalg_kernel.Value
 module Tvl = Recalg_kernel.Tvl
 module Builtins = Recalg_kernel.Builtins
 module Limits = Recalg_kernel.Limits
+module Pool = Recalg_kernel.Pool
 module Zset = Recalg_kernel.Zset
 module Bitset = Recalg_kernel.Bitset
 module Interner = Recalg_kernel.Interner

@@ -59,5 +59,10 @@ let with_obs sink f =
       let s = Recalg_kernel.Value.Stats.snapshot () in
       Obs.count "value/intern_hits" s.Recalg_kernel.Value.Stats.hits;
       Obs.count "value/intern_misses" s.Recalg_kernel.Value.Stats.misses;
-      Obs.count "value/live_nodes" s.Recalg_kernel.Value.Stats.live)
+      Obs.count "value/live_nodes" s.Recalg_kernel.Value.Stats.live;
+      Obs.count "value/intern_contended" s.Recalg_kernel.Value.Stats.contended;
+      let p = Recalg_kernel.Pool.Stats.snapshot () in
+      Obs.gauge "pool/domains" (float_of_int p.Recalg_kernel.Pool.Stats.domains);
+      Obs.count "pool/tasks" p.Recalg_kernel.Pool.Stats.tasks;
+      Obs.count "pool/batches" p.Recalg_kernel.Pool.Stats.batches)
     f

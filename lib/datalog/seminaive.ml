@@ -108,20 +108,74 @@ let eval_loop ~variant ~first ~fuel program ~base ~stores ~derived rules =
     else Edb.tuples base pred
   in
   let ordered = ordered_rules program rules in
-  let derive (r : Rule.t) body ~delta_pos =
+  let commit pred args =
+    let s = store_of pred in
+    if
+      not
+        (Tuples.mem args s.full || Tuples.mem args s.delta
+       || Tuples.mem args s.next)
+    then begin
+      Limits.spend fuel ~what:"seminaive: fact";
+      s.next <- Tuples.add args s.next
+    end
+  in
+  let derive lookup (r : Rule.t) body delta_pos =
+    solve builtins lookup body 0 delta_pos Subst.empty (fun subst ->
+        match Literal.ground_atom builtins subst r.Rule.head with
+        | Some (pred, args) -> commit pred args
+        | None -> ())
+  in
+  (* Parallel round shape: every (rule, delta position) task enumerates
+     its instantiations against the frozen stores — reads only, with a
+     task-local dedup — and the candidate streams are then committed
+     sequentially in task order. That replays exactly the derivation
+     sequence of the sequential loop (same facts, same order, same fuel
+     spends), so stores and fuel stay byte-identical to [domains:1];
+     only the enumeration work fans out (DESIGN.md §9). Stores are
+     pre-seeded for every derived predicate by [run]/[resume], so
+     worker-side lookups never mutate [stores]. *)
+  let collect lookup (r : Rule.t) body delta_pos () =
+    let seen : (string, Tuples.t ref) Hashtbl.t = Hashtbl.create 8 in
+    let acc = ref [] in
     solve builtins lookup body 0 delta_pos Subst.empty (fun subst ->
         match Literal.ground_atom builtins subst r.Rule.head with
         | Some (pred, args) ->
-          let s = store_of pred in
-          if
-            not
-              (Tuples.mem args s.full || Tuples.mem args s.delta
-             || Tuples.mem args s.next)
-          then begin
-            Limits.spend fuel ~what:"seminaive: fact";
-            s.next <- Tuples.add args s.next
+          let known =
+            match Hashtbl.find_opt stores pred with
+            | Some s -> Tuples.mem args s.full || Tuples.mem args s.delta
+            | None -> false
+          in
+          if not known then begin
+            let local =
+              match Hashtbl.find_opt seen pred with
+              | Some l -> l
+              | None ->
+                let l = ref Tuples.empty in
+                Hashtbl.add seen pred l;
+                l
+            in
+            if not (Tuples.mem args !local) then begin
+              local := Tuples.add args !local;
+              acc := (pred, args) :: !acc
+            end
           end
         | None -> ())
+      ;
+    List.rev !acc
+  in
+  let derive_all lookup tasks =
+    match tasks with
+    | [] -> ()
+    | [ (r, body, delta_pos) ] -> derive lookup r body delta_pos
+    | tasks when not (Pool.parallel ()) ->
+      List.iter (fun (r, body, delta_pos) -> derive lookup r body delta_pos) tasks
+    | tasks ->
+      if Obs.enabled () then Obs.count "pool/rule_tasks" (List.length tasks);
+      let candidates =
+        Pool.run
+          (List.map (fun (r, body, delta_pos) -> collect lookup r body delta_pos) tasks)
+      in
+      List.iter (List.iter (fun (pred, args) -> commit pred args)) candidates
   in
   let promote () =
     Hashtbl.iter
@@ -139,7 +193,8 @@ let eval_loop ~variant ~first ~fuel program ~base ~stores ~derived rules =
   in
   Obs.count "seminaive/round" 1;
   (match first with
-  | `Full -> List.iter (fun (r, body) -> derive r body ~delta_pos:None) ordered
+  | `Full ->
+    derive_all lookup (List.map (fun (r, body) -> (r, body, None)) ordered)
   | `Adds adds ->
     (* Every genuinely new derivation consumes at least one new fact at
        some body position (induction over rounds); firing each position
@@ -159,30 +214,21 @@ let eval_loop ~variant ~first ~fuel program ~base ~stores ~derived rules =
         not (Tuples.is_empty (store_of pred).delta)
       else Edb.cardinal adds pred > 0
     in
-    List.iter
-      (fun ((r : Rule.t), body) ->
-        List.iteri
-          (fun i lit ->
-            match lit with
-            | Literal.Pos a when delta_nonempty_for a.Literal.pred ->
-              solve builtins seed_lookup body 0 (Some i) Subst.empty
-                (fun subst ->
-                  match Literal.ground_atom builtins subst r.Rule.head with
-                  | Some (pred, args) ->
-                    let s = store_of pred in
-                    if
-                      not
-                        (Tuples.mem args s.full || Tuples.mem args s.delta
-                       || Tuples.mem args s.next)
-                    then begin
-                      Limits.spend fuel ~what:"seminaive: fact";
-                      s.next <- Tuples.add args s.next
-                    end
-                  | None -> ())
-            | Literal.Pos _ | Literal.Neg _ | Literal.Eq _ | Literal.Neq _ ->
-              ())
-          body)
-      ordered);
+    let tasks =
+      List.concat_map
+        (fun ((r : Rule.t), body) ->
+          List.concat
+            (List.mapi
+               (fun i lit ->
+                 match lit with
+                 | Literal.Pos a when delta_nonempty_for a.Literal.pred ->
+                   [ (r, body, Some i) ]
+                 | Literal.Pos _ | Literal.Neg _ | Literal.Eq _ | Literal.Neq _
+                   -> [])
+               body))
+        ordered
+    in
+    derive_all seed_lookup tasks);
   Obs.countf "seminaive/derived" derived_this_round;
   promote ();
   while delta_nonempty () do
@@ -190,18 +236,24 @@ let eval_loop ~variant ~first ~fuel program ~base ~stores ~derived rules =
     (match variant with
     | `Naive ->
       (* Full re-evaluation: recompute everything from the whole store. *)
-      List.iter (fun (r, body) -> derive r body ~delta_pos:None) ordered
+      derive_all lookup (List.map (fun (r, body) -> (r, body, None)) ordered)
     | `Seminaive ->
-      List.iter
-        (fun (r, body) ->
-          List.iteri
-            (fun i lit ->
-              match lit with
-              | Literal.Pos a when List.mem a.Literal.pred derived ->
-                derive r body ~delta_pos:(Some i)
-              | Literal.Pos _ | Literal.Neg _ | Literal.Eq _ | Literal.Neq _ -> ())
-            body)
-        ordered);
+      let tasks =
+        List.concat_map
+          (fun ((r : Rule.t), body) ->
+            List.concat
+              (List.mapi
+                 (fun i lit ->
+                   match lit with
+                   | Literal.Pos a when List.mem a.Literal.pred derived ->
+                     [ (r, body, Some i) ]
+                   | Literal.Pos _ | Literal.Neg _ | Literal.Eq _
+                   | Literal.Neq _ ->
+                     [])
+                 body))
+          ordered
+      in
+      derive_all lookup tasks);
     Obs.countf "seminaive/derived" derived_this_round;
     promote ()
   done;
@@ -296,13 +348,32 @@ let stratified ?fuel program edb =
     match Stratify.strata program with
     | Error msg -> Error msg
     | Ok groups ->
-      let eval_group base group =
+      let eval_rules base group =
         let rules =
           List.filter (fun r -> List.mem (Rule.head_pred r) group) program.Program.rules
         in
-        if rules = [] then base
-        else
-          let result = seminaive ?fuel program ~base rules in
-          Edb.union base result
+        if rules = [] then Edb.empty else seminaive ?fuel program ~base rules
+      in
+      (* With a live pool, a stratum splits into the connected components
+         of its dependency graph: components cannot read each other's
+         relations, so their fixpoints evaluate as independent tasks
+         against the same base and merge in component order. Fuel is
+         per-derived-fact, so the shared budget spends the same total as
+         the joint sequential loop; the merged EDB is identical because
+         the component fixpoints partition the stratum's derived facts
+         (DESIGN.md §9). At pool size 1 the stratum is evaluated whole,
+         exactly the pre-multicore path. *)
+      let eval_group base group =
+        let comps =
+          if Pool.parallel () then Stratify.components program group
+          else [ group ]
+        in
+        match comps with
+        | [] -> base
+        | [ comp ] -> Edb.union base (eval_rules base comp)
+        | comps ->
+          if Obs.enabled () then Obs.count "pool/strata_tasks" (List.length comps);
+          let results = Pool.map (fun comp -> eval_rules base comp) comps in
+          List.fold_left Edb.union base results
       in
       Ok (List.fold_left eval_group edb groups))

@@ -53,3 +53,48 @@ let strata p =
   | Stratified groups -> Ok groups
   | Not_stratified (h, q) ->
     Error (Fmt.str "not stratified: %s depends negatively on %s through a cycle" h q)
+
+(* Connected components of the dependency graph restricted to [preds]
+   (edges taken as undirected). Two predicates of one stratum that share
+   no component cannot reach each other's relations at all, so their
+   fixpoints are independent — the refinement both parallel stratum
+   evaluators (Seminaive.stratified, Stratified_to_ifp) fan out over.
+   Deterministic: components are ordered by their first member's
+   position in [preds], members by position too. *)
+let components p preds =
+  let deps = Program.dependencies p in
+  let in_preds q = List.mem q preds in
+  let adj : (string, string list ref) Hashtbl.t = Hashtbl.create 16 in
+  let neighbours q =
+    match Hashtbl.find_opt adj q with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.add adj q l;
+      l
+  in
+  List.iter
+    (fun (h, q, _pol) ->
+      if h <> q && in_preds h && in_preds q then begin
+        let nh = neighbours h and nq = neighbours q in
+        nh := q :: !nh;
+        nq := h :: !nq
+      end)
+    deps;
+  let visited = Hashtbl.create 16 in
+  let rec walk q acc =
+    if Hashtbl.mem visited q then acc
+    else begin
+      Hashtbl.add visited q ();
+      let ns = match Hashtbl.find_opt adj q with Some l -> !l | None -> [] in
+      List.fold_left (fun acc n -> walk n acc) (q :: acc) ns
+    end
+  in
+  let comps =
+    List.filter_map
+      (fun q -> if Hashtbl.mem visited q then None else Some (walk q []))
+      preds
+  in
+  (* Re-order each component by position in [preds] so the output is
+     independent of traversal order. *)
+  List.map (fun comp -> List.filter (fun q -> List.mem q comp) preds) comps

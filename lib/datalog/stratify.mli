@@ -17,3 +17,11 @@ val is_stratified : Program.t -> bool
 
 val strata : Program.t -> (string list list, string) result
 (** [Ok groups] or [Error message]. *)
+
+val components : Program.t -> string list -> string list list
+(** [components p preds] splits [preds] into the connected components of
+    [p]'s predicate dependency graph restricted to [preds] (edges taken
+    as undirected), ordered by first occurrence in [preds]. Predicates
+    of one stratum in different components have disjoint, mutually
+    unreachable fixpoints — the parallel stratum evaluators compute the
+    components as independent tasks. *)

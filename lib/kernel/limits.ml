@@ -14,19 +14,27 @@ let exhausted what =
   | None -> Diverged base
   | Some where -> Diverged (base ^ " (in " ^ where ^ ")")
 
-type fuel = { mutable left : int; infinite : bool }
+(* The budget cell is atomic so a fuel value shared across pool tasks
+   (parallel strata, per-rule rounds) loses no spends: every successful
+   [spend] subtracts exactly one, so the total — and hence [remaining]
+   after a completed evaluation — is the sequential number regardless of
+   interleaving. A failed spend restores its decrement before raising,
+   keeping [left] non-negative, exactly as the sequential check that
+   raises without decrementing. *)
+type fuel = { left : int Atomic.t; infinite : bool }
 
 let of_int n =
   if n <= 0 then invalid_arg "Limits.of_int: fuel must be positive";
-  { left = n; infinite = false }
+  { left = Atomic.make n; infinite = false }
 
-let unlimited = { left = 0; infinite = true }
+let unlimited = { left = Atomic.make 0; infinite = true }
 let default () = of_int 1_000_000
 
 let spend t ~what =
-  if not t.infinite then begin
-    if t.left <= 0 then raise (exhausted what);
-    t.left <- t.left - 1
-  end
+  if not t.infinite then
+    if Atomic.fetch_and_add t.left (-1) <= 0 then begin
+      Atomic.incr t.left;
+      raise (exhausted what)
+    end
 
-let remaining t = if t.infinite then None else Some t.left
+let remaining t = if t.infinite then None else Some (Atomic.get t.left)

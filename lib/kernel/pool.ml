@@ -1,0 +1,143 @@
+(* One global pool: a mutex-guarded FIFO of jobs, [n - 1] persistent
+   worker domains, and batch completion tracked per [run] call. The
+   submitting domain never blocks while work it could do remains queued
+   — it pops jobs like a worker until its own batch count drains — so
+   nested [run]s compose without deadlock and a size-[n] pool never
+   needs more than [n] domains.
+
+   [work] doubles as the "jobs available" and the "a batch finished"
+   signal; waiters re-check their own condition after every wake, so
+   cross-purpose broadcasts cost only a spurious loop iteration. *)
+
+let lock = Mutex.create ()
+let work = Condition.create ()
+let jobs : (unit -> unit) Queue.t = Queue.create ()
+let stop = ref false (* guarded by [lock] *)
+let workers : unit Domain.t list ref = ref [] (* main domain only *)
+
+(* [requested] is the configured size (what [domains ()] reports);
+   [live] is whether worker domains currently exist — the flag the
+   parallel fast paths and the intern-shard locks actually check. *)
+let requested = Atomic.make 1
+let live = Atomic.make false
+
+module Stats = struct
+  let tasks = Atomic.make 0
+  let batches = Atomic.make 0
+
+  type snapshot = { domains : int; tasks : int; batches : int }
+
+  let snapshot () =
+    {
+      domains = Atomic.get requested;
+      tasks = Atomic.get tasks;
+      batches = Atomic.get batches;
+    }
+
+  let reset () =
+    Atomic.set tasks 0;
+    Atomic.set batches 0
+end
+
+let domains () = Atomic.get requested
+let parallel () = Atomic.get live
+
+let rec worker () =
+  Mutex.lock lock;
+  let rec await () =
+    if !stop then None
+    else
+      match Queue.take_opt jobs with
+      | Some j -> Some j
+      | None ->
+        Condition.wait work lock;
+        await ()
+  in
+  let job = await () in
+  Mutex.unlock lock;
+  match job with
+  | None -> ()
+  | Some j ->
+    j ();
+    worker ()
+
+let shutdown () =
+  match !workers with
+  | [] -> ()
+  | ws ->
+    Atomic.set live false;
+    Mutex.lock lock;
+    stop := true;
+    Condition.broadcast work;
+    Mutex.unlock lock;
+    List.iter Domain.join ws;
+    workers := [];
+    stop := false
+
+let set_domains n =
+  let n = max 1 n in
+  if n <> Atomic.get requested || List.length !workers <> n - 1 then begin
+    shutdown ();
+    Atomic.set requested n;
+    if n > 1 then begin
+      workers := List.init (n - 1) (fun _ -> Domain.spawn worker);
+      Atomic.set live true
+    end
+  end
+
+let () = at_exit shutdown
+
+let run thunks =
+  match thunks with
+  | [] -> []
+  | [ f ] -> [ f () ]
+  | _ when not (parallel ()) -> List.map (fun f -> f ()) thunks
+  | _ ->
+    let n = List.length thunks in
+    Atomic.incr Stats.batches;
+    ignore (Atomic.fetch_and_add Stats.tasks n);
+    let results = Array.make n None in
+    let pending = ref n in
+    (* [results] and [pending] are only touched under [lock]; the
+       lock's release/acquire pairs order every task's write before the
+       submitter's reads below (the OCaml memory model's happens-before
+       through mutexes). *)
+    let wrap i f () =
+      let r =
+        try Ok (f ()) with e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock lock;
+      results.(i) <- Some r;
+      decr pending;
+      if !pending = 0 then Condition.broadcast work;
+      Mutex.unlock lock
+    in
+    Mutex.lock lock;
+    List.iteri (fun i f -> Queue.push (wrap i f) jobs) thunks;
+    Condition.broadcast work;
+    let rec drain () =
+      if !pending > 0 then
+        match Queue.take_opt jobs with
+        | Some j ->
+          Mutex.unlock lock;
+          j ();
+          Mutex.lock lock;
+          drain ()
+        | None ->
+          Condition.wait work lock;
+          drain ()
+    in
+    drain ();
+    Mutex.unlock lock;
+    (* Left-to-right scan so the lowest-indexed failure wins. *)
+    Array.iter
+      (function
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | Some (Ok _) | None -> ())
+      results;
+    Array.to_list
+      (Array.map
+         (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
+         results)
+
+let map f xs = run (List.map (fun x () -> f x) xs)

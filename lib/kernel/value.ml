@@ -144,27 +144,72 @@ module Tbl = Hashtbl.Make (struct
   let hash = node_hash
 end)
 
-let table : t Tbl.t = Tbl.create 4096
-let next_id = ref 0
-let hits = ref 0
-let misses = ref 0
+(* The table is sharded so concurrent domains (Pool workers) intern
+   without a global bottleneck. The shard is chosen by the node's
+   structural FNV-1a hash, so where a value lands is deterministic and
+   scheduling-independent; each shard carries its own mutex, taken only
+   while the pool is live ([Pool.parallel ()]), so single-domain runs
+   pay no synchronisation at all. Ids come from one atomic counter:
+   unique across domains, but assignment *order* depends on scheduling
+   — safe because nothing observable consults ids ([compare]/[hash]
+   never do; see the .mli and DESIGN.md §9), while hashes are purely
+   structural and hit/miss totals stay deterministic (a node's first
+   construction is the one miss, every other one a hit, under any
+   interleaving). *)
 
-let stamp n =
-  let id = !next_id in
-  incr next_id;
-  { node = n; id; hash = node_hash n }
+let shard_bits = 6
+let shard_count = 1 lsl shard_bits
+
+type shard = {
+  table : t Tbl.t;
+  lock : Mutex.t;
+  mutable hits : int; (* guarded by [lock] while the pool is live *)
+  mutable misses : int;
+  contended : int Atomic.t; (* try_lock failures: cross-domain collisions *)
+}
+
+let shards =
+  Array.init shard_count (fun _ ->
+      {
+        table = Tbl.create 256;
+        lock = Mutex.create ();
+        hits = 0;
+        misses = 0;
+        contended = Atomic.make 0;
+      })
+
+let next_id = Atomic.make 0
+
+let stamp_hashed n h =
+  { node = n; id = Atomic.fetch_and_add next_id 1; hash = h }
+
+let stamp n = stamp_hashed n (node_hash n)
+
+let intern shard n h =
+  match Tbl.find_opt shard.table n with
+  | Some v ->
+    shard.hits <- shard.hits + 1;
+    v
+  | None ->
+    shard.misses <- shard.misses + 1;
+    let v = stamp_hashed n h in
+    Tbl.add shard.table n v;
+    v
 
 let make n =
   if !enabled then begin
-    match Tbl.find_opt table n with
-    | Some v ->
-      incr hits;
+    let h = node_hash n in
+    let shard = shards.(h land (shard_count - 1)) in
+    if Pool.parallel () then begin
+      if not (Mutex.try_lock shard.lock) then begin
+        Atomic.incr shard.contended;
+        Mutex.lock shard.lock
+      end;
+      let v = intern shard n h in
+      Mutex.unlock shard.lock;
       v
-    | None ->
-      incr misses;
-      let v = stamp n in
-      Tbl.add table n v;
-      v
+    end
+    else intern shard n h
   end
   else stamp n
 
@@ -194,33 +239,58 @@ module Stats = struct
     hits : int;
     misses : int;
     total_ids : int;
+    shards : int;
+    contended : int;
   }
 
   let snapshot () =
-    let s = Tbl.stats table in
+    let live = ref 0
+    and buckets = ref 0
+    and max_bucket = ref 0
+    and hits = ref 0
+    and misses = ref 0
+    and contended = ref 0 in
+    Array.iter
+      (fun (sh : shard) ->
+        let s = Tbl.stats sh.table in
+        live := !live + s.Hashtbl.num_bindings;
+        buckets := !buckets + s.Hashtbl.num_buckets;
+        max_bucket := max !max_bucket s.Hashtbl.max_bucket_length;
+        hits := !hits + sh.hits;
+        misses := !misses + sh.misses;
+        contended := !contended + Atomic.get sh.contended)
+      shards;
     {
       enabled = !enabled;
-      live = s.Hashtbl.num_bindings;
-      buckets = s.Hashtbl.num_buckets;
-      max_bucket = s.Hashtbl.max_bucket_length;
+      live = !live;
+      buckets = !buckets;
+      max_bucket = !max_bucket;
       hits = !hits;
       misses = !misses;
-      total_ids = !next_id;
+      total_ids = Atomic.get next_id;
+      shards = shard_count;
+      contended = !contended;
     }
 
   let reset_counters () =
-    hits := 0;
-    misses := 0
+    Array.iter
+      (fun (sh : shard) ->
+        sh.hits <- 0;
+        sh.misses <- 0;
+        Atomic.set sh.contended 0)
+      shards
 
   let pp ppf s =
     Fmt.pf ppf
-      "@[<v>hashcons: %s@,live nodes: %d (in %d buckets, longest chain %d)@,\
-       hits: %d  misses: %d  (hit rate %.1f%%)@,ids stamped: %d@]"
+      "@[<v>hashcons: %s@,\
+       live nodes: %d (in %d buckets over %d shards, longest chain %d)@,\
+       hits: %d  misses: %d  (hit rate %.1f%%)  lock contention: %d@,\
+       ids stamped: %d@]"
       (if s.enabled then "on" else "off")
-      s.live s.buckets s.max_bucket s.hits s.misses
+      s.live s.buckets s.shards s.max_bucket s.hits s.misses
       (if s.hits + s.misses = 0 then 0.
        else 100. *. float_of_int s.hits /. float_of_int (s.hits + s.misses))
-      s.total_ids
+      s.contended s.total_ids
 end
 
 (* ------------------------------------------------------------------ *)

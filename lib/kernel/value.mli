@@ -38,8 +38,10 @@ val node : t -> node
 
 val id : t -> int
 (** Unique stamp of the node. With hash-consing on, structurally equal
-    values share one id; ids are assigned in construction order and are
-    not stable across runs. *)
+    values share one id; ids are assigned in construction order (from
+    one atomic counter, so they stay unique under concurrent interning
+    from pool domains) and are not stable across runs. No observable
+    result may depend on them — {!compare} and {!hash} never do. *)
 
 (** {1 Constructors} *)
 
@@ -102,7 +104,9 @@ module Hashcons : sig
   (** Run a thunk under the given mode, restoring the previous mode on
       exit (also on exceptions). Values built under [Off] are not in the
       table, so physical equality with later [On]-mode values is not
-      guaranteed — [equal]/[compare]/[hash] remain correct regardless. *)
+      guaranteed — [equal]/[compare]/[hash] remain correct regardless.
+      The mode is global: switch it only from the main domain, outside
+      any {!Pool} task. *)
 end
 
 (** {1 Instrumentation} *)
@@ -116,6 +120,12 @@ module Stats : sig
     hits : int;  (** constructor calls answered from the table *)
     misses : int;  (** constructor calls that interned a fresh node *)
     total_ids : int;  (** ids ever stamped, including [Off]-mode builds *)
+    shards : int;  (** intern-table shards (fixed; selected by hash) *)
+    contended : int;
+        (** shard-lock acquisitions that found the lock held by another
+            domain — the intern-contention signal surfaced by [--stats]
+            and the observability layer; always [0] in single-domain
+            runs *)
   }
 
   val snapshot : unit -> snapshot

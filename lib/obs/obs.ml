@@ -1,18 +1,36 @@
 open Recalg_kernel
 
 (* Global observability state. [enabled_flag] is the one-load fast path
-   every emission checks first; [stack] holds the active span names,
-   innermost first, and is only touched while enabled (so it is [] in
-   disabled runs and the fuel-context provider stays silent there). *)
+   every emission checks first; the span stack holds the active span
+   names, innermost first, and is only touched while enabled (so it is
+   [] in disabled runs and the fuel-context provider stays silent
+   there). The stack is domain-local: every pool worker nests its own
+   spans independently, and the fuel-context provider reports the path
+   of whichever domain blew the budget. Sink installation happens on
+   the main domain before any parallel region (visibility piggybacks on
+   the pool's mutex ordering); emission serialises through [emit_lock]
+   while the pool is live, so stateful sinks (jsonl channels, memory
+   buffers, Summary accumulators) never see concurrent [emit]s. *)
 let enabled_flag = ref false
 let sink = ref Sink.null
 let t0 = ref 0.0
-let stack : string list ref = ref []
+let stack_key : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
+let stack () = Domain.DLS.get stack_key
 let enabled () = !enabled_flag
 let now () = Unix.gettimeofday () -. !t0
-let path () = String.concat " > " (List.rev !stack)
-let emit e = !sink.Sink.emit e
+let path () = String.concat " > " (List.rev !(stack ()))
+let emit_lock = Mutex.create ()
+
+let emit e =
+  if Pool.parallel () then begin
+    Mutex.lock emit_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock emit_lock)
+      (fun () -> !sink.Sink.emit e)
+  end
+  else !sink.Sink.emit e
 
 let with_sink s f =
   let was_enabled = !enabled_flag and old_sink = !sink and old_t0 = !t0 in
@@ -34,6 +52,7 @@ module Span = struct
   let run name f =
     if not !enabled_flag then f ()
     else begin
+      let stack = stack () in
       stack := name :: !stack;
       let p = path () in
       let at = now () in
@@ -74,4 +93,4 @@ let gauge = Gauge.emit
    message is byte-identical to the uninstrumented one. *)
 let () =
   Limits.set_context (fun () ->
-      if !enabled_flag && !stack <> [] then Some (path ()) else None)
+      if !enabled_flag && !(stack ()) <> [] then Some (path ()) else None)

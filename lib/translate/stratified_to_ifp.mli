@@ -19,13 +19,36 @@ type t = {
   defs : Defs.t;  (** non-recursive definitions, one per derived predicate *)
   db : Db.t;
   pred_constants : (string * string) list;
+  levels : (Defs.t * (string * string list) list) list;
+      (** evaluation schedule, one entry per stratum: the stratum's own
+          fixpoint definitions plus its [(fixpoint constant, member
+          predicates)] components — what {!eval_all} fans out over *)
 }
 
 val translate : Program.t -> Edb.t -> (t, string) result
-(** [Error] when the program is unsafe or not stratified. *)
+(** [Error] when the program is unsafe or not stratified. Each stratum
+    is split into the connected components of its dependency graph
+    ({!Recalg_datalog.Stratify.components}); every component gets its
+    own simultaneous fixpoint constant — sound because components never
+    read each other's tag space, so the joint inflationary fixpoint is
+    the disjoint union of the component fixpoints. *)
+
+val schedule : t -> (string * string list) list list
+(** The level structure: for each stratum in evaluation order, its
+    components as [(fixpoint constant, member predicates)] pairs.
+    Components of one level are mutually independent. *)
 
 val eval_pred :
   ?fuel:Limits.fuel -> ?strategy:Delta.strategy -> t -> string -> Value.t list list
 (** Evaluate one translated predicate to its set of argument tuples.
     [strategy] selects semi-naive (default) or naive [IFP] iteration in
     {!Recalg_algebra.Eval.eval}. *)
+
+val eval_all :
+  ?fuel:Limits.fuel -> ?strategy:Delta.strategy -> t -> (string * Value.t) list
+(** Materialise every translated predicate, level by level: the
+    components of each level evaluate as independent
+    {!Recalg_kernel.Pool} tasks (sequentially at pool size 1) against
+    the database extended with all earlier levels' results, so no
+    fixpoint is ever recomputed. Returns [(pred, set value)] in schedule
+    order. Results and fuel spend are identical at every pool size. *)

@@ -34,7 +34,7 @@ let contains ~needle hay =
   go 0
 
 let verbs = [ "run"; "alg"; "query"; "update"; "check"; "translate" ]
-let shared_flags = [ "--fuel"; "--trace"; "--profile"; "--stats" ]
+let shared_flags = [ "--fuel"; "--trace"; "--profile"; "--stats"; "--domains" ]
 
 let test_parity () =
   match find_exe () with

@@ -16,5 +16,6 @@ let () =
       ("alg-parser", Test_alg_parser.suite);
       ("spec", Test_spec.suite);
       ("obs", Test_obs.suite);
+      ("parallel", Test_parallel.suite);
       ("parameterized", Test_parameterized.suite);
     ]
