@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Validate bench record files written by `bench/main.exe -- <exp> --json F`.
+
+Usage: check_records.py <experiment> <records.json>
+
+One validator per experiment, in one auditable place — the CI jobs all
+call this script instead of carrying copy-pasted heredocs. Each
+validator checks the record schema and the experiment's core invariant
+(incremental == scratch, byte-identity across domain counts, planned ==
+unplanned), not timings: wall-clock numbers on shared CI runners are
+recorded but never asserted on.
+"""
+
+import json
+import sys
+
+
+def require(record, i, keys):
+    for key in keys:
+        assert key in record, f"record {i} missing {key!r}"
+
+
+def check_e12(records):
+    """Incremental maintenance: every batch kind agrees with recompute."""
+    for i, r in enumerate(records):
+        require(r, i, ("engine", "kind", "batch", "incr_ms_per_update",
+                       "scratch_ms", "speedup", "agree", "obs"))
+        assert r["agree"] is True, f"record {i}: incremental != scratch"
+        obs = r["obs"]
+        assert isinstance(obs, dict), f"record {i}: obs is not an object"
+        for counter in ("insertions", "retractions", "repaired",
+                        "recompute", "extend", "dred", "rounds"):
+            assert counter in obs, f"record {i} obs missing {counter!r}"
+        if r["kind"] in ("delete", "mixed"):
+            assert obs["retractions"] > 0, \
+                f"record {i}: {r['kind']} batch reported no retractions"
+
+
+def check_e13(records):
+    """Multicore scaling: byte-identical results at every domain count."""
+    by_workload = {}
+    for i, r in enumerate(records):
+        require(r, i, ("workload", "domains", "cores", "ms", "speedup_vs_1",
+                       "pool_tasks", "par_threshold", "fingerprint", "agree"))
+        assert r["agree"] is True, \
+            f"record {i}: result diverged from domains:1"
+        by_workload.setdefault(r["workload"], {})[r["domains"]] = r
+    for name, rows in by_workload.items():
+        assert 1 in rows and 2 in rows, f"{name}: missing a domain count"
+        # The core determinism contract: the structural fingerprint at
+        # domains:2 equals the one at domains:1.
+        assert rows[2]["fingerprint"] == rows[1]["fingerprint"], \
+            f"{name}: domains:2 fingerprint differs from domains:1"
+    # At least one parallel row must actually have fanned out work.
+    assert any(r["domains"] > 1 and r["pool_tasks"] > 0 for r in records), \
+        "no parallel row spawned pool tasks"
+
+
+def check_e14(records):
+    """Cost-based planning: every mode returns the identical set."""
+    plan_keys = ("planned", "reordered", "semijoins", "pushdowns",
+                 "est_cost_original", "est_cost_chosen", "est_out", "chosen")
+    by_workload = {}
+    for i, r in enumerate(records):
+        require(r, i, ("workload", "mode", "ms", "speedup_vs_off",
+                       "peak_intermediate", "fingerprint", "agree",
+                       "par_threshold", "plan"))
+        assert r["agree"] is True, f"record {i}: planned != unplanned"
+        assert r["par_threshold"] > 0, f"record {i}: bogus par_threshold"
+        plan = r["plan"]
+        assert isinstance(plan, dict), f"record {i}: plan is not an object"
+        require(plan, i, plan_keys)
+        assert plan["planned"] is (r["mode"] != "off"), \
+            f"record {i}: mode {r['mode']} but planned={plan['planned']}"
+        by_workload.setdefault(r["workload"], {})[r["mode"]] = r
+    for name, rows in by_workload.items():
+        for mode in ("off", "greedy", "cost"):
+            assert mode in rows, f"{name}: missing mode {mode!r}"
+        # The exactness contract: planned results fingerprint-equal the
+        # unplanned baseline.
+        for mode in ("greedy", "cost"):
+            assert rows[mode]["fingerprint"] == rows["off"]["fingerprint"], \
+                f"{name}: {mode} fingerprint differs from off"
+        cost_plan = rows["cost"]["plan"]
+        assert cost_plan["est_cost_chosen"] <= cost_plan["est_cost_original"], \
+            f"{name}: cost search picked a worse plan than the input"
+    # The planner must have actually done something somewhere.
+    assert any(r["plan"]["reordered"] or r["plan"]["semijoins"] > 0
+               for r in records), "no record reports a reorder or semijoin"
+
+
+CHECKS = {"e12": check_e12, "e13": check_e13, "e14": check_e14}
+
+
+def main():
+    if len(sys.argv) != 3 or sys.argv[1] not in CHECKS:
+        known = ", ".join(sorted(CHECKS))
+        sys.exit(f"usage: check_records.py <{known}> <records.json>")
+    experiment, path = sys.argv[1], sys.argv[2]
+    with open(path) as fh:
+        records = json.load(fh)
+    assert records, f"no {experiment} records"
+    CHECKS[experiment](records)
+    print(f"{len(records)} {experiment} records, schema ok")
+
+
+if __name__ == "__main__":
+    main()

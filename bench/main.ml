@@ -712,6 +712,7 @@ let e13 () =
             ("ms", U.F ms);
             ("speedup_vs_1", U.F speedup);
             ("pool_tasks", U.I tasks);
+            ("par_threshold", U.I !Algebra.Join.par_threshold);
             ("fingerprint", U.I (fingerprint result));
             ("agree", U.B agree) ])
       domain_counts;
@@ -782,11 +783,203 @@ let e13 () =
         (fun acc (p, v) -> acc lxor Value.hash (Value.pair (Value.sym p) v))
         0 rows)
 
+(* ------------------------------------------------------------------ *)
+(* E14 — cost-based planning on adversarial join orders: workloads
+   written in the order a naive translation would produce, where the
+   syntactic plan (or the greedy left-deep one) materialises large
+   intermediates the planner avoids. Every mode must return the same
+   set ([assert]ed); only time and peak intermediate may differ. *)
+
+let e14 () =
+  U.hr "E14: cost-based planner vs greedy left-deep vs unplanned \
+        (byte-identical results)";
+  U.row "%-18s %-7s %12s %9s %14s %6s@." "workload" "plan" "ms" "speedup"
+    "peak intermed" "agree";
+  let no_defs = Algebra.Defs.make [] in
+  let cc a b = Algebra.Efun.Compose (a, b) in
+  let p i = Algebra.Efun.Proj i in
+  let eq a b = Algebra.Pred.Eq (a, b) in
+  (* Evaluate [expr] over [db] under each plan mode; the [Off] run is the
+     baseline every later row's result is compared (and speedup
+     normalised) against. The planner rewrite rides in via [~advice], as
+     the CLI does it. *)
+  let contest name db expr =
+    let base = ref None in
+    List.iter
+      (fun mode ->
+        let planner = Plan.Planner.create ~stats:(Plan.Stats.of_db db) mode in
+        let advice = Plan.Planner.advice planner in
+        let eval () = Algebra.Eval.eval ~advice no_defs db expr in
+        let ms, result = U.time_ms eval in
+        let sum = obs_summary eval in
+        let peak =
+          max
+            (Obs.Summary.counter_max sum "join/out")
+            (Obs.Summary.counter_max sum "eval/product_out")
+        in
+        let agree, speedup =
+          match !base with
+          | None ->
+            base := Some (result, ms);
+            (true, 1.0)
+          | Some (r0, ms0) -> (Value.equal r0 result, ms0 /. ms)
+        in
+        assert agree;
+        if Sys.getenv_opt "E14_DEBUG" <> None then
+          Fmt.epr "--- %s %s ---@.%a@." name
+            (Plan.Planner.mode_to_string mode)
+            Obs.Summary.pp sum;
+        let report =
+          match Plan.Planner.reports planner with r :: _ -> Some r | [] -> None
+        in
+        let mode_s = Plan.Planner.mode_to_string mode in
+        U.row "%-18s %-7s %12.2f %8.2fx %14d %6b@." name mode_s ms speedup
+          peak agree;
+        let plan_block =
+          match report with
+          | None ->
+            U.O
+              [ ("planned", U.B false); ("reordered", U.B false);
+                ("semijoins", U.I 0); ("pushdowns", U.I 0);
+                ("est_cost_original", U.F 0.); ("est_cost_chosen", U.F 0.);
+                ("est_out", U.F 0.); ("chosen", U.S "") ]
+          | Some r ->
+            U.O
+              [ ("planned", U.B true);
+                ("reordered", U.B r.Plan.Planner.reordered);
+                ("semijoins", U.I r.Plan.Planner.semijoins);
+                ("pushdowns", U.I r.Plan.Planner.pushdowns);
+                ("est_cost_original", U.F r.Plan.Planner.est_cost_original);
+                ("est_cost_chosen", U.F r.Plan.Planner.est_cost_chosen);
+                ("est_out", U.F r.Plan.Planner.est_out);
+                ("chosen", U.S r.Plan.Planner.chosen) ]
+        in
+        U.record
+          [ ("experiment", U.S "e14");
+            ("workload", U.S name);
+            ("mode", U.S mode_s);
+            ("ms", U.F ms);
+            ("speedup_vs_off", U.F speedup);
+            ("peak_intermediate", U.I peak);
+            ("fingerprint", U.I (Value.hash result));
+            ("agree", U.B agree);
+            ("par_threshold", U.I !Algebra.Join.par_threshold);
+            ("plan", plan_block) ])
+      [ Plan.Planner.Off; Plan.Planner.Greedy; Plan.Planner.Cost ]
+  in
+  let pairs f n = List.init n (fun i -> f i) in
+  (* 1. Star trap: two large relations and a tiny centre, written with
+     the large pair innermost — the syntactic plan materialises
+     |h1|*|h2| before the centre's conjuncts can cut anything. Both
+     planning modes join each large relation to the centre instead. *)
+  let nh = if U.is_smoke () then 48 else 300 in
+  let star_db =
+    Algebra.Db.of_list
+      [ ("h1", pairs (fun i -> Value.pair (vi i) (vi (i mod 4))) nh);
+        ("h2", pairs (fun i -> Value.pair (vi i) (vi (i mod 4))) nh);
+        ("t", pairs (fun j -> Value.pair (vi j) (vi j)) 4) ]
+  in
+  let star_expr =
+    let open Algebra.Expr in
+    select
+      (Algebra.Pred.And
+         ( (* h1.2 = t.1 *)
+           eq (cc (p 2) (cc (p 1) (p 1))) (cc (p 1) (p 2)),
+           (* h2.2 = t.2 *)
+           eq (cc (p 2) (cc (p 2) (p 1))) (cc (p 2) (p 2)) ))
+      (product (product (rel "h1") (rel "h2")) (rel "t"))
+  in
+  contest (Printf.sprintf "star_trap_%d" nh) star_db star_expr;
+  (* 2. Chain trap: a six-relation chain whose middle edge has only two
+     distinct key values, projected onto its first relation. Written
+     (and greedily planned) left-deep, the evaluation crosses that edge
+     early and drags an n*n/2 intermediate through every remaining
+     join; the DP search goes bushy, joining the two selective halves
+     first and paying the big join exactly once — and the enclosing
+     projection means no reshape is owed for the reordering. *)
+  let n = if U.is_smoke () then 32 else 240 in
+  let ident i = Value.pair (vi i) (vi i) in
+  let chain_db =
+    Algebra.Db.of_list
+      [ ("ca", pairs ident n); ("cb", pairs ident n);
+        ("cc_", pairs (fun i -> Value.pair (vi i) (vi (i mod 2))) n);
+        ("cd", pairs (fun j -> Value.pair (vi (j mod 2)) (vi j)) n);
+        ("ce", pairs ident n); ("cf", pairs ident n) ]
+  in
+  let chain_expr =
+    let open Algebra.Expr in
+    (* prev.2 = next.1 at every level, selections already distributed
+       pairwise (the shape a careful hand translation produces). *)
+    match List.map rel [ "ca"; "cb"; "cc_"; "cd"; "ce"; "cf" ] with
+    | r1 :: r2 :: rest ->
+      let first =
+        select (eq (cc (p 2) (p 1)) (cc (p 1) (p 2))) (product r1 r2)
+      in
+      let joined =
+        List.fold_left
+          (fun acc r ->
+            select
+              (eq (cc (p 2) (cc (p 2) (p 1))) (cc (p 1) (p 2)))
+              (product acc r))
+          first rest
+      in
+      map (cc (p 1) (cc (p 1) (cc (p 1) (cc (p 1) (p 1))))) joined
+    | _ -> assert false
+  in
+  contest (Printf.sprintf "chain_trap_%d" n) chain_db chain_expr;
+  (* 3. Greedy trap: the globally smallest first pair is a cross product
+     of the two tiny dimension tables — greedy commits to it and then
+     drags every large-relation row times one whole dimension through
+     the rest of the plan. The DP search starts from the selective join
+     between the two large relations instead. *)
+  let nd, ng = if U.is_smoke () then (8, 800) else (16, 8000) in
+  let trap_db =
+    Algebra.Db.of_list
+      [ ("tx", pairs ident nd); ("ty", pairs ident nd);
+        ("tg", pairs (fun i -> Value.pair (vi i) (vi (i mod nd))) ng);
+        ("th", pairs (fun i -> Value.pair (vi i) (vi (i mod nd))) ng) ]
+  in
+  let trap_expr =
+    let open Algebra.Expr in
+    select
+      (Algebra.Pred.And
+         ( (* tg.1 = th.1 *)
+           eq (cc (p 1) (cc (p 2) (p 1))) (cc (p 1) (p 2)),
+           (* th.2 = ty.1 *)
+           eq (cc (p 2) (p 2)) (cc (p 1) (cc (p 2) (cc (p 1) (p 1)))) ))
+      (product
+         (select
+            ((* tg.2 = tx.1 *)
+             eq (cc (p 2) (p 2)) (cc (p 1) (cc (p 1) (p 1))))
+            (product (product (rel "tx") (rel "ty")) (rel "tg")))
+         (rel "th"))
+  in
+  contest (Printf.sprintf "greedy_trap_%d" ng) trap_db trap_expr;
+  (* 3. Semijoin: a projection keeps only the small relation, the big
+     one contributes nothing but its eight distinct join keys. The
+     planner reduces it to those keys before joining; unplanned, the
+     full hash join materialises every matching pair first. *)
+  let na, nb = if U.is_smoke () then (20, 480) else (100, 8000) in
+  let semi_db =
+    Algebra.Db.of_list
+      [ ("sa", pairs (fun i -> Value.pair (vi i) (vi (i mod 8))) na);
+        ("sb", pairs (fun j -> Value.pair (vi (j mod 8)) (vi j)) nb) ]
+  in
+  let semi_expr =
+    let open Algebra.Expr in
+    map (p 1)
+      (select
+         ((* sa.2 = sb.1 *)
+          eq (cc (p 2) (p 1)) (cc (p 1) (p 2)))
+         (product (rel "sa") (rel "sb")))
+  in
+  contest (Printf.sprintf "semijoin_%dx%d" na nb) semi_db semi_expr
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13);
+    ("e12", e12); ("e13", e13); ("e14", e14);
   ]
 
 let () =
@@ -830,7 +1023,7 @@ let () =
           | None ->
             if String.equal name "micro" then micro ()
             else begin
-              Fmt.epr "unknown experiment %s (e1..e13, micro)@." name;
+              Fmt.epr "unknown experiment %s (e1..e14, micro)@." name;
               exit 2
             end)
         names

@@ -1,6 +1,7 @@
 (* Arguments shared by the evaluating subcommands (run, alg, query):
-   the fuel budget plus the three reporting switches. Declared once so
-   every subcommand documents and parses them identically. *)
+   the fuel budget, the planner knobs, plus the three reporting
+   switches. Declared once so every subcommand documents and parses
+   them identically. *)
 
 open Recalg
 open Cmdliner
@@ -11,6 +12,9 @@ type t = {
   trace : string option;
   profile : bool;
   domains : int;
+  plan : Plan.Planner.mode;
+  par_threshold : int;
+  stats_file : string option;
 }
 
 let default_domains () =
@@ -20,6 +24,14 @@ let default_domains () =
     | Some n when n >= 1 -> n
     | Some _ | None -> 1)
   | None -> 1
+
+let default_par_threshold () =
+  match Sys.getenv_opt "RECALG_PAR_THRESHOLD" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 0 -> n
+    | Some _ | None -> !Algebra.Join.par_threshold)
+  | None -> !Algebra.Join.par_threshold
 
 let term =
   let fuel =
@@ -35,6 +47,49 @@ let term =
              per-rule semi-naive rounds and independent strata. Results \
              are byte-identical at every domain count; the default is \
              $(b,RECALG_DOMAINS) or 1 (sequential).")
+  in
+  let plan =
+    let parse =
+      Arg.enum
+        [ ("off", Plan.Planner.Off);
+          ("greedy", Plan.Planner.Greedy);
+          ("cost", Plan.Planner.Cost) ]
+    in
+    Arg.(
+      value & opt parse Plan.Planner.Off
+      & info [ "plan" ] ~docv:"MODE"
+          ~doc:
+            "Query planning: $(b,off) evaluates expressions as written; \
+             $(b,greedy) reorders multiway joins left-deep by estimated \
+             intermediate size; $(b,cost) adds exact dynamic-programming \
+             join-order search (up to 8 relations), semijoin reducers \
+             under projections, and per-node strategy selection. Results \
+             are byte-identical in every mode. On deductive subcommands, \
+             any mode other than $(b,off) also orders rule-body literals \
+             by envelope cardinality estimates.")
+  in
+  let par_threshold =
+    Arg.(
+      value
+      & opt int (default_par_threshold ())
+      & info [ "par-threshold" ] ~docv:"N"
+          ~doc:
+            "Minimum build+probe element count before a hash join fans \
+             out over the worker pool (no effect at $(b,--domains) 1). \
+             The default is $(b,RECALG_PAR_THRESHOLD) or 1024; results \
+             are byte-identical at every threshold.")
+  in
+  let stats_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-file" ] ~docv:"FILE"
+          ~doc:
+            "Persist planner statistics across runs: load $(docv) before \
+             evaluation (entries whose fingerprint contradicts the live \
+             database are dropped), and rewrite it from the live \
+             relations afterwards. Missing or unreadable files degrade \
+             to no stats.")
   in
   let stats =
     Arg.(
@@ -60,15 +115,48 @@ let term =
       & info [ "profile" ]
           ~doc:
             "Print an EXPLAIN-style profile to stderr after evaluation: \
-             span timings, fixpoint iteration counts and per-engine \
-             counters.")
+             span timings, fixpoint iteration counts, per-engine \
+             counters, and (with $(b,--plan)) the chosen join orders.")
   in
-  let make fuel stats trace profile domains =
-    { fuel; stats; trace; profile; domains }
+  let make fuel stats trace profile domains plan par_threshold stats_file =
+    { fuel; stats; trace; profile; domains; plan; par_threshold; stats_file }
   in
-  Term.(const make $ fuel $ stats $ trace $ profile $ domains)
+  Term.(
+    const make $ fuel $ stats $ trace $ profile $ domains $ plan
+    $ par_threshold $ stats_file)
 
 let fuel_of t = Limits.of_int t.fuel
+
+let order_of t : [ `Syntactic | `Stats ] =
+  match t.plan with
+  | Plan.Planner.Off -> `Syntactic
+  | Plan.Planner.Greedy | Plan.Planner.Cost -> `Stats
+
+(* The planner for an algebra evaluation over [db]: stats come from the
+   persisted file when one is given (stale entries pruned against the
+   live database) merged under a fresh sampling pass. *)
+let planner_of t db =
+  let sampled = Plan.Stats.of_db db in
+  let stats =
+    match t.stats_file with
+    | None -> sampled
+    | Some file -> (
+      match Plan.Stats.load file with
+      | None -> sampled
+      | Some persisted ->
+        Plan.Stats.merge (Plan.Stats.prune_stale db persisted) sampled)
+  in
+  Plan.Planner.create ~stats t.plan
+
+(* Rewrite the stats file from the relations the run actually saw. *)
+let save_stats t db =
+  match t.stats_file with
+  | None -> ()
+  | Some file -> Plan.Stats.save file (Plan.Stats.of_db db)
+
+let report_plan t planner =
+  if t.profile && t.plan <> Plan.Planner.Off then
+    Fmt.epr "%a" Plan.Planner.pp_reports (Plan.Planner.reports planner)
 
 let report_stats t =
   if t.stats then Fmt.epr "%a@." Value.Stats.pp (Value.Stats.snapshot ())
@@ -79,6 +167,7 @@ let report_stats t =
    instrumentation stays disabled no-ops. *)
 let with_reporting t f =
   Pool.set_domains t.domains;
+  Algebra.Join.par_threshold := t.par_threshold;
   match t.trace, t.profile with
   | None, false -> Fun.protect ~finally:(fun () -> report_stats t) f
   | _ ->

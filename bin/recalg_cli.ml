@@ -50,19 +50,20 @@ let run_cmd =
   let run file semantics common =
     let program, edb = load file in
     let fuel = Common_args.fuel_of common in
+    let order = Common_args.order_of common in
     Common_args.with_reporting common @@ fun () ->
     match semantics with
-    | `Valid -> pp_interp (Datalog.Run.valid ~fuel program edb)
-    | `Wf -> pp_interp (Datalog.Run.wellfounded ~fuel program edb)
-    | `Inf -> pp_interp (Datalog.Run.inflationary ~fuel program edb)
+    | `Valid -> pp_interp (Datalog.Run.valid ~fuel ~order program edb)
+    | `Wf -> pp_interp (Datalog.Run.wellfounded ~fuel ~order program edb)
+    | `Inf -> pp_interp (Datalog.Run.inflationary ~fuel ~order program edb)
     | `Strat -> (
-      match Datalog.Run.stratified ~fuel program edb with
+      match Datalog.Run.stratified ~fuel ~order program edb with
       | Ok db -> Fmt.pr "%a@." Datalog.Edb.pp db
       | Error e ->
         Fmt.epr "error: %s@." e;
         exit 1)
     | `Stable ->
-      let models = Datalog.Run.stable ~fuel program edb in
+      let models = Datalog.Run.stable ~fuel ~order program edb in
       Fmt.pr "%d stable model(s)@." (List.length models);
       List.iteri
         (fun i m ->
@@ -188,7 +189,11 @@ let update_cmd =
       let semantics =
         match s with `Valid -> `Valid | `Wf -> `Wellfounded | `Inf -> `Inflationary
       in
-      let live = Datalog.Run.Live.start ~fuel ~semantics program edb in
+      let live =
+        Datalog.Run.Live.start ~fuel
+          ~order:(Common_args.order_of common)
+          ~semantics program edb
+      in
       let final =
         List.fold_left (fun _ u -> Datalog.Run.Live.update live u)
           (Datalog.Run.Live.interp live) batches
@@ -220,24 +225,38 @@ let alg_cmd =
         exit 1
       | Ok () ->
         let window = Option.map (fun n -> Value.set (List.init (n + 1) Value.int)) window in
+        let planner = Common_args.planner_of common Algebra.Db.empty in
+        let advice = Plan.Planner.advice planner in
+        let constants =
+          Algebra.Defs.constant_names
+            (Algebra.Defs.inline_all p.Algebra.Parser.defs)
+        in
         let sol =
-          Algebra.Rec_eval.solve ?window ~fuel
+          Algebra.Rec_eval.solve ?window ~fuel ~advice
             p.Algebra.Parser.defs Algebra.Db.empty
         in
         List.iter
           (fun name ->
             Fmt.pr "@[<h>%s = %a@]@." name Algebra.Rec_eval.pp_vset
               (Algebra.Rec_eval.constant sol name))
-          (Algebra.Defs.constant_names
-             (Algebra.Defs.inline_all p.Algebra.Parser.defs));
-        match p.Algebra.Parser.query with
+          constants;
+        (match p.Algebra.Parser.query with
         | Some q ->
           let v =
-            Algebra.Rec_eval.eval ?window ~fuel
+            Algebra.Rec_eval.eval ?window ~fuel ~advice
               p.Algebra.Parser.defs Algebra.Db.empty q
           in
           Fmt.pr "@[<h>query = %a@]@." Algebra.Rec_eval.pp_vset v
-        | None -> ())
+        | None -> ());
+        Common_args.report_plan common planner;
+        (* Persist what this run learned: the solved constants' certain
+           members are next run's relation statistics. *)
+        Common_args.save_stats common
+          (List.fold_left
+             (fun db name ->
+               Algebra.Db.add name
+                 (Algebra.Rec_eval.constant sol name).Algebra.Rec_eval.low db)
+             Algebra.Db.empty constants))
   in
   Cmd.v
     (Cmd.info "alg"
@@ -261,10 +280,11 @@ let query_cmd =
       exit 2
     | Ok rule ->
       let head = rule.Datalog.Rule.head in
+      let order = Common_args.order_of common in
       if Datalog.Literal.atom_vars head = [] then
-        Fmt.pr "%a@." Tvl.pp (Datalog.Query.holds ~fuel program edb head)
+        Fmt.pr "%a@." Tvl.pp (Datalog.Query.holds ~fuel ~order program edb head)
       else
-      let answers = Datalog.Query.ask ~fuel program edb head in
+      let answers = Datalog.Query.ask ~fuel ~order program edb head in
       if answers = [] then Fmt.pr "no@."
       else
         List.iter

@@ -1,0 +1,14 @@
+type t = {
+  rewrite : Expr.t -> Expr.t;
+  join_mode : Expr.t -> Join.mode option;
+  join_par : Expr.t -> bool option;
+  ifp_strategy : string -> Expr.t -> Delta.strategy option;
+}
+
+let none =
+  { rewrite = Fun.id;
+    join_mode = (fun _ -> None);
+    join_par = (fun _ -> None);
+    ifp_strategy = (fun _ _ -> None) }
+
+let is_none t = t == none

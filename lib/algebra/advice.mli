@@ -1,0 +1,41 @@
+(** Planner advice consumed by the evaluators.
+
+    The cost-based planner lives in [recalg.plan], {e above} this
+    library, so the evaluators cannot call it directly. Instead they
+    accept this record of hooks: a whole-expression rewrite (join
+    reordering, semijoin reduction, predicate pushdown) applied wherever
+    an evaluator inlines an expression, plus per-node overrides queried
+    as evaluation reaches the node. Every hook is advisory — [None]
+    means "keep the evaluator's default" — and every rewrite installed
+    here must be {e result-exact}: the advised evaluation returns
+    byte-identical sets (fuel is pinned by tests but not promised by
+    this interface; see DESIGN.md §10).
+
+    {!none} is the identity advice; evaluators default to it, and with
+    it the advised code paths are byte-for-byte the unadvised ones. *)
+
+type t = {
+  rewrite : Expr.t -> Expr.t;
+      (** Applied to every expression an evaluator is about to walk
+          (after definition inlining, so planner decisions key on the
+          exact node values evaluation will encounter). Must preserve
+          the result set of every evaluation, including under
+          three-valued bounds and delta derivation. *)
+  join_mode : Expr.t -> Join.mode option;
+      (** Per-node fused/unfused override, called with the
+          [Select (p, Product _)] node itself. *)
+  join_par : Expr.t -> bool option;
+      (** Per-node parallel-join override for the same nodes:
+          [Some true] partitions whenever the pool is parallel (ignoring
+          [Join.par_threshold]), [Some false] forces the sequential
+          path, [None] keeps the threshold heuristic. *)
+  ifp_strategy : string -> Expr.t -> Delta.strategy option;
+      (** Per-[Ifp (x, body)] strategy override, called with [x] and
+          [body]. *)
+}
+
+val none : t
+(** The identity advice: identity rewrite, every override [None]. *)
+
+val is_none : t -> bool
+(** Physical check against {!none}, so hot paths can skip hook calls. *)

@@ -21,7 +21,8 @@ let touches names e =
 
 let eligible names e = Positivity.has_linear_occurrence names e
 
-let derive ~builtins ?(join = Join.Fused) ~eval ?eval_diff_right ~deltas e =
+let derive ~builtins ?(join = Join.Fused) ?(join_mode = fun _ -> None)
+    ?(join_par = fun _ -> None) ~eval ?eval_diff_right ~deltas e =
   let eval_diff_right = Option.value eval_diff_right ~default:eval in
   let names = List.map fst deltas in
   let rec go e =
@@ -45,8 +46,10 @@ let derive ~builtins ?(join = Join.Fused) ~eval ?eval_diff_right ~deltas e =
            side a hash join probing the *current* value of the unchanged
            factor — the same split as the Product rule, without ever
            materialising a product. *)
+        let node_join = Option.value (join_mode e) ~default:join in
+        let par = join_par e in
         let fused =
-          match join, a with
+          match node_join, a with
           | Join.Fused, Expr.Product (ea, eb) -> (
             match Join.plan p with
             | Some jp ->
@@ -54,11 +57,11 @@ let derive ~builtins ?(join = Join.Fused) ~eval ?eval_diff_right ~deltas e =
               let da = go ea and db = go eb in
               let left =
                 if is_empty da then Value.empty_set
-                else Join.exec builtins jp da (eval eb)
+                else Join.exec ?par builtins jp da (eval eb)
               in
               let right =
                 if is_empty db then Value.empty_set
-                else Join.exec builtins jp (eval ea) db
+                else Join.exec ?par builtins jp (eval ea) db
               in
               Some (Value.union left right)
             | None -> None)

@@ -34,6 +34,8 @@ val eligible : string list -> Expr.t -> bool
 val derive :
   builtins:Builtins.t ->
   ?join:Join.mode ->
+  ?join_mode:(Expr.t -> Join.mode option) ->
+  ?join_par:(Expr.t -> bool option) ->
   eval:(Expr.t -> Value.t) ->
   ?eval_diff_right:(Expr.t -> Value.t) ->
   deltas:(string * Value.t) list ->
@@ -51,7 +53,12 @@ val derive :
     [join] (default [Fused]) plans [Select (p, Product _)] nodes as hash
     joins ({!Join}): the delta of such a node joins each factor's delta
     against the current value of the other factor, so delta rounds stay
-    [O(|Δ| + |probe| + |out|)] instead of materialising products. *)
+    [O(|Δ| + |probe| + |out|)] instead of materialising products.
+
+    [join_mode] and [join_par] are the planner's per-node overrides
+    ({!Advice}), called with each [Select] node: the former replaces
+    [join] for that node, the latter forces or forbids the parallel join
+    path. Both default to "no override". *)
 
 val touches : string list -> Expr.t -> bool
 (** Some tracked name occurs free in the expression. *)

@@ -13,10 +13,13 @@ let scoped hashcons f =
   | Some mode -> Value.Hashcons.with_mode mode f
 
 let eval ?(fuel = Limits.default ()) ?(strategy = Delta.Seminaive)
-    ?(join = Join.Fused) ?hashcons defs db expr =
+    ?(join = Join.Fused) ?hashcons ?(advice = Advice.none) defs db expr =
   scoped hashcons @@ fun () ->
   Obs.span "eval" @@ fun () ->
   let builtins = Defs.builtins defs in
+  (* The rewrite runs after inlining, so the planner's per-node decision
+     tables key on the exact node values the recursion below visits. *)
+  let advise e = if Advice.is_none advice then e else advice.Advice.rewrite e in
   let memo : (string, Value.t) Hashtbl.t = Hashtbl.create 8 in
   let rec eval_name visiting name =
     match Hashtbl.find_opt memo name with
@@ -25,12 +28,15 @@ let eval ?(fuel = Limits.default ()) ?(strategy = Delta.Seminaive)
       match Defs.find defs name with
       | Some d when d.Defs.params = [] ->
         if List.mem name visiting then raise (Recursive_definition name);
-        let v = go (name :: visiting) [] (Defs.inline defs d.Defs.body) in
+        let v = go (name :: visiting) [] (advise (Defs.inline defs d.Defs.body)) in
         Hashtbl.replace memo name v;
         v
       | Some _ | None -> (
         match Db.find db name with
-        | Some v -> v
+        | Some v ->
+          if Obs.enabled () then
+            Obs.gauge ("db/card/" ^ name) (float_of_int (Value.cardinal v));
+          v
         | None -> raise (Undefined_relation name)))
   and go visiting env e =
     match e with
@@ -42,15 +48,21 @@ let eval ?(fuel = Limits.default ()) ?(strategy = Delta.Seminaive)
     | Expr.Param x -> invalid_arg ("Eval.eval: unsubstituted parameter " ^ x)
     | Expr.Union (a, b) -> Value.union (go visiting env a) (go visiting env b)
     | Expr.Diff (a, b) -> Value.diff (go visiting env a) (go visiting env b)
-    | Expr.Product (a, b) -> Value.product (go visiting env a) (go visiting env b)
+    | Expr.Product (a, b) ->
+      let v = Value.product (go visiting env a) (go visiting env b) in
+      Obs.countf "eval/product_out" (fun () -> Value.cardinal v);
+      v
     | Expr.Select (p, a) -> (
+      let node_join = Option.value (advice.Advice.join_mode e) ~default:join in
+      let par = advice.Advice.join_par e in
       let fused =
-        match join, a with
+        match node_join, a with
         | Join.Fused, Expr.Product (ea, eb) -> (
           match Join.plan p with
           | Some jp ->
             Obs.count "plan/fused" 1;
-            Some (Join.exec builtins jp (go visiting env ea) (go visiting env eb))
+            Some
+              (Join.exec ?par builtins jp (go visiting env ea) (go visiting env eb))
           | None -> None)
         | (Join.Fused | Join.Unfused), _ -> None
       in
@@ -66,6 +78,9 @@ let eval ?(fuel = Limits.default ()) ?(strategy = Delta.Seminaive)
     | Expr.Map (f, a) -> Value.filter_map_set (Efun.apply builtins f) (go visiting env a)
     | Expr.Ifp (x, body) ->
       Obs.span "ifp" @@ fun () ->
+      let strategy =
+        Option.value (advice.Advice.ifp_strategy x body) ~default:strategy
+      in
       let full s = go visiting ((x, s) :: env) body in
       let naive () =
         let rec iterate s =
@@ -96,7 +111,8 @@ let eval ?(fuel = Limits.default ()) ?(strategy = Delta.Seminaive)
             Limits.spend fuel ~what:"IFP iteration";
             Obs.count "eval/ifp_iter" 1;
             let derived =
-              Delta.derive ~builtins ~join
+              Delta.derive ~builtins ~join ~join_mode:advice.Advice.join_mode
+                ~join_par:advice.Advice.join_par
                 ~eval:(fun e -> go visiting ((x, s) :: env) e)
                 ~deltas:[ (x, d) ]
                 body
@@ -107,9 +123,9 @@ let eval ?(fuel = Limits.default ()) ?(strategy = Delta.Seminaive)
           end
         in
         loop s0 s0)
-    | Expr.Call _ -> go visiting env (Defs.inline defs e)
+    | Expr.Call _ -> go visiting env (advise (Defs.inline defs e))
   in
-  go [] [] (Defs.inline defs expr)
+  go [] [] (advise (Defs.inline defs expr))
 
-let eval_closed ?fuel ?strategy ?join ?hashcons db expr =
-  eval ?fuel ?strategy ?join ?hashcons (Defs.make []) db expr
+let eval_closed ?fuel ?strategy ?join ?hashcons ?advice db expr =
+  eval ?fuel ?strategy ?join ?hashcons ?advice (Defs.make []) db expr

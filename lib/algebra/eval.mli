@@ -16,6 +16,7 @@ val eval :
   ?strategy:Delta.strategy ->
   ?join:Join.mode ->
   ?hashcons:Value.Hashcons.mode ->
+  ?advice:Advice.t ->
   Defs.t ->
   Db.t ->
   Expr.t ->
@@ -38,13 +39,20 @@ val eval :
     [hashcons] scopes {!Value.Hashcons.with_mode} over the evaluation —
     [Off] is the structural-equality ablation baseline; omitted, the
     ambient mode is left untouched. Either mode returns byte-identical
-    values and spends identical fuel. *)
+    values and spends identical fuel.
+
+    [advice] (default {!Advice.none}) installs planner hooks: the
+    rewrite runs on every inlined expression before it is walked, and
+    the per-node overrides replace [join]/[strategy] at individual
+    [Select]/[Ifp] nodes. Any advice built by [Recalg.Plan] preserves
+    results byte for byte. *)
 
 val eval_closed :
   ?fuel:Limits.fuel ->
   ?strategy:Delta.strategy ->
   ?join:Join.mode ->
   ?hashcons:Value.Hashcons.mode ->
+  ?advice:Advice.t ->
   Db.t ->
   Expr.t ->
   Value.t

@@ -233,7 +233,7 @@ let exec_parallel builtins plan keep xs ys =
   in
   Value.union_all (Pool.run (List.init nparts part))
 
-let exec builtins plan left right =
+let exec ?par builtins plan left right =
   let xs = Value.elements left in
   let ys = Value.elements right in
   let nx = List.length xs and ny = List.length ys in
@@ -245,31 +245,41 @@ let exec builtins plan left right =
   let keep v =
     List.for_all (fun c -> Pred.eval builtins c v = Some true) plan.residual
   in
-  if Pool.parallel () && nx + ny >= !par_threshold then
-    exec_parallel builtins plan keep xs ys
-  else begin
-    let index = Vtbl.create (ny + 1) in
-    List.iter
-      (fun y ->
-        match Efun.apply builtins plan.right_key y with
-        | Some k ->
-          let bucket = Option.value (Vtbl.find_opt index k) ~default:[] in
-          Vtbl.replace index k (y :: bucket)
-        | None -> ())
-      ys;
-    let out =
-      List.fold_left
-        (fun acc x ->
-          match Efun.apply builtins plan.left_key x with
-          | None -> acc
+  let go_parallel =
+    Pool.parallel ()
+    &&
+    match par with
+    | Some b -> b
+    | None -> nx + ny >= !par_threshold
+  in
+  let out =
+    if go_parallel then exec_parallel builtins plan keep xs ys
+    else begin
+      let index = Vtbl.create (ny + 1) in
+      List.iter
+        (fun y ->
+          match Efun.apply builtins plan.right_key y with
           | Some k ->
-            List.fold_left
-              (fun acc y ->
-                let v = Value.pair x y in
-                if keep v then v :: acc else acc)
-              acc
-              (Option.value (Vtbl.find_opt index k) ~default:[]))
-        [] xs
-    in
-    Value.set out
-  end
+            let bucket = Option.value (Vtbl.find_opt index k) ~default:[] in
+            Vtbl.replace index k (y :: bucket)
+          | None -> ())
+        ys;
+      let out =
+        List.fold_left
+          (fun acc x ->
+            match Efun.apply builtins plan.left_key x with
+            | None -> acc
+            | Some k ->
+              List.fold_left
+                (fun acc y ->
+                  let v = Value.pair x y in
+                  if keep v then v :: acc else acc)
+                acc
+                (Option.value (Vtbl.find_opt index k) ~default:[]))
+          [] xs
+      in
+      Value.set out
+    end
+  in
+  if Obs.enabled () then Obs.countf "join/out" (fun () -> Value.cardinal out);
+  out

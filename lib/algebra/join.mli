@@ -21,6 +21,31 @@ type mode =
   | Fused  (** plan [Select (p, Product _)] nodes as hash joins (default) *)
   | Unfused  (** always materialise the product and filter *)
 
+(** Which half of a product pair an element function depends on.
+    [Left_only g] means [f [x, y] = g x] {e exactly}, including
+    definedness (symmetrically [Right_only]); [Either_side g] means [f]
+    ignores its input (constants only); [Both_sides] means no such
+    factoring exists. *)
+type side =
+  | Left_only of Efun.t
+  | Right_only of Efun.t
+  | Either_side of Efun.t
+  | Both_sides
+
+val split : Efun.t -> side
+(** Factor an element function, as applied to a product pair, through one
+    of the components — the rebasing step behind {!plan}, exported for
+    the cost-based planner's n-ary generalisation. *)
+
+val compose : Efun.t -> Efun.t -> Efun.t
+(** [compose g f] applies [f] first — [Efun.Compose] with the identity
+    elided, so rebased keys stay readable in plans and printers. *)
+
+val conjuncts : Pred.t -> Pred.t list
+(** Top-level conjuncts of a predicate. A value passes the predicate iff
+    it passes every conjunct (strict three-valued [And]), so checking
+    them independently — possibly at different plan nodes — is exact. *)
+
 type t = {
   left_key : Efun.t;  (** applied to left elements; [None] drops the element *)
   right_key : Efun.t;  (** applied to right elements; [None] drops the element *)
@@ -62,7 +87,7 @@ val par_threshold : int ref
     cost knob; tests and benches lower it to force the parallel path on
     small inputs. *)
 
-val exec : Recalg_kernel.Builtins.t -> t -> Recalg_kernel.Value.t ->
+val exec : ?par:bool -> Recalg_kernel.Builtins.t -> t -> Recalg_kernel.Value.t ->
   Recalg_kernel.Value.t -> Recalg_kernel.Value.t
 (** [exec builtins plan left right] hash-joins the two sets: it indexes
     [right] by [right_key], probes with [left_key] per left element, and
@@ -70,4 +95,12 @@ val exec : Recalg_kernel.Builtins.t -> t -> Recalg_kernel.Value.t ->
     [filter (p = Some true) (product left right)] for the planned [p],
     byte for byte. With a parallel pool and at least {!par_threshold}
     elements, both sides are partitioned by key hash and the partitions
-    join as independent pool tasks — same result, merged canonically. *)
+    join as independent pool tasks — same result, merged canonically.
+
+    [par] overrides the threshold heuristic per call — the planner's
+    per-node sequential/parallel choice: [Some true] partitions whenever
+    the pool is parallel, [Some false] forces the sequential path. The
+    result is byte-identical on every path. When observability is on,
+    each call also emits its output cardinality as the [join/out]
+    counter, so a summary's [counter_max] reports the peak join
+    intermediate. *)

@@ -33,6 +33,7 @@ type solution = {
   window : Value.t option;
   strategy : Delta.strategy;
   join : Join.mode;
+  advice : Advice.t;
   rounds : int;
 }
 
@@ -41,8 +42,8 @@ type solution = {
    reading of subtraction: an element is certainly in [a - b] when it is
    certainly in [a] and not possibly in [b]; possibly in [a - b] when
    possibly in [a] and not certainly in [b]. *)
-let rec eval_vset builtins db lows highs fuel strategy join env e =
-  let recur = eval_vset builtins db lows highs fuel strategy join in
+let rec eval_vset builtins db lows highs fuel strategy join advice env e =
+  let recur = eval_vset builtins db lows highs fuel strategy join advice in
   match e with
   | Expr.Rel name -> (
     match List.assoc_opt name env with
@@ -52,7 +53,10 @@ let rec eval_vset builtins db lows highs fuel strategy join env e =
       | Some low -> { low; high = Smap.find name highs }
       | None -> (
         match Db.find db name with
-        | Some v -> exact v
+        | Some v ->
+          if Obs.enabled () then
+            Obs.gauge ("db/card/" ^ name) (float_of_int (Value.cardinal v));
+          exact v
         | None -> raise (Undefined_relation name))))
   | Expr.Lit v -> exact v
   | Expr.Param x -> invalid_arg ("Rec_eval: unsubstituted parameter " ^ x)
@@ -62,18 +66,24 @@ let rec eval_vset builtins db lows highs fuel strategy join env e =
     { low = Value.diff sa.low sb.high; high = Value.diff sa.high sb.low }
   | Expr.Product (a, b) ->
     let sa = recur env a and sb = recur env b in
-    { low = Value.product sa.low sb.low; high = Value.product sa.high sb.high }
+    let s =
+      { low = Value.product sa.low sb.low; high = Value.product sa.high sb.high }
+    in
+    Obs.countf "eval/product_out" (fun () -> Value.cardinal s.high);
+    s
   | Expr.Select (p, a) -> (
+    let node_join = Option.value (advice.Advice.join_mode e) ~default:join in
+    let par = advice.Advice.join_par e in
     let fused =
-      match join, a with
+      match node_join, a with
       | Join.Fused, Expr.Product (ea, eb) -> (
         match Join.plan p with
         | Some jp ->
           Obs.count "plan/fused" 1;
           let sa = recur env ea and sb = recur env eb in
           Some
-            { low = Join.exec builtins jp sa.low sb.low;
-              high = Join.exec builtins jp sa.high sb.high }
+            { low = Join.exec ?par builtins jp sa.low sb.low;
+              high = Join.exec ?par builtins jp sa.high sb.high }
         | None -> None)
       | (Join.Fused | Join.Unfused), _ -> None
     in
@@ -92,6 +102,9 @@ let rec eval_vset builtins db lows highs fuel strategy join env e =
     { low = Value.filter_map_set apply sa.low;
       high = Value.filter_map_set apply sa.high }
   | Expr.Ifp (x, body) ->
+    let strategy =
+      Option.value (advice.Advice.ifp_strategy x body) ~default:strategy
+    in
     let full s = recur ((x, s) :: env) body in
     let naive () =
       let rec iterate s =
@@ -120,7 +133,8 @@ let rec eval_vset builtins db lows highs fuel strategy join env e =
           Limits.spend fuel ~what:"Rec_eval: IFP iteration";
           Obs.count "rec_eval/ifp_iter" 1;
           let derive proj opp dval =
-            Delta.derive ~builtins ~join
+            Delta.derive ~builtins ~join ~join_mode:advice.Advice.join_mode
+              ~join_par:advice.Advice.join_par
               ~eval:(fun e -> proj (recur ((x, s) :: env) e))
               ~eval_diff_right:(fun e -> opp (recur ((x, s) :: env) e))
               ~deltas:[ (x, dval) ]
@@ -149,12 +163,17 @@ let scoped hashcons f =
   | Some mode -> Value.Hashcons.with_mode mode f
 
 let solve ?(fuel = Limits.default ()) ?window ?(strategy = Delta.Seminaive)
-    ?(join = Join.Fused) ?hashcons defs db =
+    ?(join = Join.Fused) ?hashcons ?(advice = Advice.none) defs db =
   scoped hashcons @@ fun () ->
   Obs.span "rec_eval" @@ fun () ->
   let inlined = Defs.inline_all defs in
   let builtins = Defs.builtins inlined in
-  let bodies = Defs.constant_bodies inlined in
+  (* Rewrite each body once, up front — the per-node advice tables then
+     key on exactly the node values every phase below revisits. *)
+  let advise e = if Advice.is_none advice then e else advice.Advice.rewrite e in
+  let bodies =
+    List.map (fun (n, b) -> (n, advise b)) (Defs.constant_bodies inlined)
+  in
   let names = List.map fst bodies in
   let body name = List.assoc name bodies in
   (* Per-constant semi-naive eligibility: some defined constant occurs
@@ -192,7 +211,8 @@ let solve ?(fuel = Limits.default ()) ?window ?(strategy = Delta.Seminaive)
                 clip window (project (eval_bounds current b))
               else
                 let derived =
-                  Delta.derive ~builtins ~join
+                  Delta.derive ~builtins ~join ~join_mode:advice.Advice.join_mode
+                    ~join_par:advice.Advice.join_par
                     ~eval:(fun e -> project (eval_bounds current e))
                     ~eval_diff_right:(fun e -> opposite (eval_bounds current e))
                     ~deltas b
@@ -219,7 +239,7 @@ let solve ?(fuel = Limits.default ()) ?window ?(strategy = Delta.Seminaive)
       let highs =
         phase_lfp ~label:"high"
           ~eval_bounds:(fun highs_cur e ->
-            eval_vset builtins db lows_prev highs_cur fuel strategy join [] e)
+            eval_vset builtins db lows_prev highs_cur fuel strategy join advice [] e)
           ~project:(fun s -> s.high)
           ~opposite:(fun s -> s.low)
       in
@@ -227,14 +247,14 @@ let solve ?(fuel = Limits.default ()) ?window ?(strategy = Delta.Seminaive)
       let lows =
         phase_lfp ~label:"low"
           ~eval_bounds:(fun lows_cur e ->
-            eval_vset builtins db lows_cur highs fuel strategy join [] e)
+            eval_vset builtins db lows_cur highs fuel strategy join advice [] e)
           ~project:(fun s -> s.low)
           ~opposite:(fun s -> s.high)
       in
       (highs, lows)
     in
     if Smap.equal Value.equal lows lows_prev then
-      { lows; highs; defs = inlined; db; fuel; window; strategy; join; rounds }
+      { lows; highs; defs = inlined; db; fuel; window; strategy; join; advice; rounds }
     else outer lows (rounds + 1)
   in
   outer empty_map 1
@@ -246,16 +266,20 @@ let constant sol name =
 
 let rounds sol = sol.rounds
 
-let eval ?fuel ?window ?strategy ?join ?hashcons defs db expr =
+let eval ?fuel ?window ?strategy ?join ?hashcons ?advice defs db expr =
   scoped hashcons @@ fun () ->
-  let sol = solve ?fuel ?window ?strategy ?join defs db in
+  let sol = solve ?fuel ?window ?strategy ?join ?advice defs db in
   let inlined_expr = Defs.inline sol.defs (Defs.inline defs expr) in
+  let inlined_expr =
+    if Advice.is_none sol.advice then inlined_expr
+    else sol.advice.Advice.rewrite inlined_expr
+  in
   eval_vset (Defs.builtins sol.defs) sol.db sol.lows sol.highs sol.fuel sol.strategy
-    sol.join [] inlined_expr
+    sol.join sol.advice [] inlined_expr
 
-let well_defined ?fuel ?window ?strategy ?join ?hashcons defs db =
+let well_defined ?fuel ?window ?strategy ?join ?hashcons ?advice defs db =
   scoped hashcons @@ fun () ->
-  let sol = solve ?fuel ?window ?strategy ?join defs db in
+  let sol = solve ?fuel ?window ?strategy ?join ?advice defs db in
   List.for_all
     (fun name -> is_defined (constant sol name))
     (Defs.constant_names sol.defs)

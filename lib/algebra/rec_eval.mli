@@ -44,6 +44,7 @@ val solve :
   ?strategy:Delta.strategy ->
   ?join:Join.mode ->
   ?hashcons:Value.Hashcons.mode ->
+  ?advice:Advice.t ->
   Defs.t ->
   Db.t ->
   solution
@@ -71,7 +72,12 @@ val solve :
     [hashcons] scopes {!Value.Hashcons.with_mode} over the computation —
     [Off] is the structural-equality ablation baseline; omitted, the
     ambient mode is left untouched. Either mode computes byte-identical
-    bounds and spends identical fuel. *)
+    bounds and spends identical fuel.
+
+    [advice] (default {!Advice.none}) installs planner hooks: every
+    constant body is rewritten once before solving, and the per-node
+    overrides apply to both bounds of each advised node. Any advice
+    built by [Recalg.Plan] preserves both bounds byte for byte. *)
 
 val constant : solution -> string -> vset
 (** Raises {!Undefined_relation} for an unknown name. *)
@@ -85,6 +91,7 @@ val eval :
   ?strategy:Delta.strategy ->
   ?join:Join.mode ->
   ?hashcons:Value.Hashcons.mode ->
+  ?advice:Advice.t ->
   Defs.t ->
   Db.t ->
   Expr.t ->
@@ -97,6 +104,7 @@ val well_defined :
   ?strategy:Delta.strategy ->
   ?join:Join.mode ->
   ?hashcons:Value.Hashcons.mode ->
+  ?advice:Advice.t ->
   Defs.t ->
   Db.t ->
   bool

@@ -44,6 +44,7 @@ module Datalog = struct
   module Program = Recalg_datalog.Program
   module Edb = Recalg_datalog.Edb
   module Safety = Recalg_datalog.Safety
+  module Cardest = Recalg_datalog.Cardest
   module Stratify = Recalg_datalog.Stratify
   module Grounder = Recalg_datalog.Grounder
   module Propgm = Recalg_datalog.Propgm
@@ -68,12 +69,22 @@ module Algebra = struct
   module Db = Recalg_algebra.Db
   module Delta = Recalg_algebra.Delta
   module Join = Recalg_algebra.Join
+  module Advice = Recalg_algebra.Advice
   module Eval = Recalg_algebra.Eval
   module Rec_eval = Recalg_algebra.Rec_eval
   module Incremental = Recalg_algebra.Incremental
   module Positivity = Recalg_algebra.Positivity
   module Parser = Recalg_algebra.Parser
   module Printer = Recalg_algebra.Printer
+end
+
+(** The stats-driven cost-based planner: relation statistics, the cost
+    model, and the join-order/semijoin/strategy planner producing
+    {!Algebra.Advice} for the evaluators. *)
+module Plan = struct
+  module Stats = Recalg_plan.Stats
+  module Cost = Recalg_plan.Cost
+  module Planner = Recalg_plan.Planner
 end
 
 module Translate = struct

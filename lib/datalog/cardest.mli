@@ -1,0 +1,19 @@
+(** Envelope cardinality estimates for stats-driven body-literal
+    ordering — the datalog face of the cost-based planner.
+
+    Reordering a rule body changes which substitutions are enumerated,
+    never which head facts a round derives: every ordering produced by
+    {!Safety.evaluation_order_with} binds the same variables and checks
+    the same literals, so the per-round derived sets — and hence fuel —
+    are identical. The estimates only rank the ready literals, putting
+    the smallest relation first (small filters early, big scans late). *)
+
+val estimates : Program.t -> Edb.t -> string -> float
+(** Per-predicate envelope cardinality: exact for EDB predicates,
+    a capped monotone product-of-bodies fixpoint for derived ones. *)
+
+val prefer : Program.t -> Edb.t -> Literal.t -> int
+(** Preference for {!Safety.evaluation_order_with}: a positive literal
+    scores its predicate's estimate (smaller first); negative and
+    (in)equality literals score [0] — they are filters, cheapest run as
+    soon as they are evaluable. *)

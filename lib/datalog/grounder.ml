@@ -210,10 +210,21 @@ let instantiate_rule st (r : Rule.t) ordered_body ~delta_pos =
         emit_rule st ~head ~pos:(List.rev pos_ids) ~neg:(List.rev neg_ids)
       | None -> ())
 
-let ordered_bodies program =
+(* [`Stats] scans the smallest estimated relation first (see {!Cardest});
+   any evaluable ordering instantiates the same ground rules on the same
+   rounds, so the propositional program is identical either way. *)
+let ordered_bodies ?(order = `Syntactic) program edb =
+  let prefer =
+    match order with
+    | `Syntactic -> fun _ -> 0
+    | `Stats -> Cardest.prefer program edb
+  in
   List.map
     (fun (r : Rule.t) ->
-      match Safety.evaluation_order program.Program.builtins r.Rule.body with
+      match
+        Safety.evaluation_order_with program.Program.builtins ~prefer
+          r.Rule.body
+      with
       | Ok body -> (r, body)
       | Error msg -> raise (Unsafe msg))
     program.Program.rules
@@ -294,7 +305,7 @@ let flush_probe_counters st =
   end
 
 let ground ?(fuel = Limits.default ()) ?(strategy = `Seminaive) ?hashcons
-    program edb =
+    ?order program edb =
   (* Scope the hash-consing mode over the whole grounding — the
      ablation/escape hatch mirroring [~strategy]. *)
   (match hashcons with
@@ -304,7 +315,7 @@ let ground ?(fuel = Limits.default ()) ?(strategy = `Seminaive) ?hashcons
   Obs.span "ground" @@ fun () ->
   let st = fresh_state ~fuel program in
   seed_axioms st edb;
-  let ordered = ordered_bodies program in
+  let ordered = ordered_bodies ?order program edb in
   promote st;
   (* First pass without a delta restriction covers rules whose bodies have
      no positive literal and seeds everything else. *)
@@ -351,11 +362,11 @@ module Live = struct
     mutable edb : Edb.t;
   }
 
-  let start ?(fuel = Limits.default ()) program edb =
+  let start ?(fuel = Limits.default ()) ?order program edb =
     Obs.span "ground.live_start" @@ fun () ->
     let st = fresh_state ~fuel program in
     seed_axioms st edb;
-    let ordered = ordered_bodies program in
+    let ordered = ordered_bodies ?order program edb in
     promote st;
     List.iter (fun (r, body) -> instantiate_rule st r body ~delta_pos:None) ordered;
     promote st;

@@ -19,6 +19,7 @@ val ground :
   ?fuel:Recalg_kernel.Limits.fuel ->
   ?strategy:[ `Seminaive | `Naive ] ->
   ?hashcons:Recalg_kernel.Value.Hashcons.mode ->
+  ?order:[ `Syntactic | `Stats ] ->
   Program.t -> Edb.t -> Propgm.t
 (** [strategy] (default [`Seminaive]) selects delta-restricted
     instantiation or full re-instantiation every round — the two produce
@@ -28,7 +29,13 @@ val ground :
     [hashcons] scopes {!Recalg_kernel.Value.Hashcons.with_mode} over the
     grounding — [Off] is the structural-equality ablation baseline;
     omitted, the ambient mode is left untouched. Either mode produces an
-    identical propositional program. *)
+    identical propositional program.
+
+    [order] (default [`Syntactic]) selects the body-literal ordering:
+    [`Stats] ranks evaluable literals by {!Cardest} envelope estimates,
+    scanning the smallest relation first. Every evaluable ordering emits
+    the same rule instances, so the propositional program is identical —
+    only enumeration cost changes. *)
 
 (** Resident grounding maintained under {!Edb.Update} batches.
 
@@ -49,9 +56,11 @@ module Live : sig
   type t
 
   val start :
-    ?fuel:Recalg_kernel.Limits.fuel -> Program.t -> Edb.t -> t
+    ?fuel:Recalg_kernel.Limits.fuel -> ?order:[ `Syntactic | `Stats ] ->
+    Program.t -> Edb.t -> t
   (** Ground [program] over [edb] and keep the instantiation state
-      resident. *)
+      resident. [order] as in {!ground}, applied to the initial
+      grounding (updates reuse the chosen orderings). *)
 
   val edb : t -> Edb.t
   (** The current (post-update) extensional database. *)

@@ -15,7 +15,8 @@ type answer = {
 }
 
 val ask :
-  ?fuel:Limits.fuel -> Program.t -> Edb.t -> Literal.atom -> answer list
+  ?fuel:Limits.fuel -> ?order:Run.order -> Program.t -> Edb.t ->
+  Literal.atom -> answer list
 (** Evaluate under the valid semantics and match the goal against every
     true and undefined fact of its predicate. *)
 
@@ -23,6 +24,7 @@ val ask_interp : Interp.t -> Builtins.t -> Literal.atom -> answer list
 (** Same, against an already computed interpretation. *)
 
 val holds :
-  ?fuel:Limits.fuel -> Program.t -> Edb.t -> Literal.atom -> Tvl.t
+  ?fuel:Limits.fuel -> ?order:Run.order -> Program.t -> Edb.t ->
+  Literal.atom -> Tvl.t
 (** Ground goal only: its three-valued status. Raises [Invalid_argument]
     on a non-ground goal. *)

@@ -3,6 +3,8 @@ module Obs = Recalg_obs.Obs
 
 exception Unsafe of string
 
+type order = [ `Syntactic | `Stats ]
+
 (* Enumerate substitutions for an ordered body against [lookup], which maps
    a predicate and a source selector to its tuples. *)
 type source = All | Old | Delta
@@ -67,10 +69,22 @@ end)
 
 type store = { mutable full : Tuples.t; mutable delta : Tuples.t; mutable next : Tuples.t }
 
-let ordered_rules program rules =
+(* [`Stats] ranks the ready literals at each ordering step by their
+   envelope cardinality estimate (see {!Cardest}) — smallest relation
+   first. Any valid ordering derives the same facts on the same rounds,
+   so the choice affects enumeration cost only, never results or fuel. *)
+let ordered_rules ?(order = `Syntactic) program ~base rules =
+  let prefer =
+    match order with
+    | `Syntactic -> fun _ -> 0
+    | `Stats -> Cardest.prefer program base
+  in
   List.map
     (fun (r : Rule.t) ->
-      match Safety.evaluation_order program.Program.builtins r.Rule.body with
+      match
+        Safety.evaluation_order_with program.Program.builtins ~prefer
+          r.Rule.body
+      with
       | Ok body -> (r, body)
       | Error msg -> raise (Unsafe msg))
     rules
@@ -84,7 +98,7 @@ let ordered_rules program rules =
    axioms already sitting in the store deltas) — the semi-naive
    continuation, which never rescans the materialized bulk. Afterwards,
    delta-restricted rounds close up either way. *)
-let eval_loop ~variant ~first ~fuel program ~base ~stores ~derived rules =
+let eval_loop ~variant ~first ~fuel ~order program ~base ~stores ~derived rules =
   let builtins = program.Program.builtins in
   let store_of pred =
     match Hashtbl.find_opt stores pred with
@@ -107,7 +121,7 @@ let eval_loop ~variant ~first ~fuel program ~base ~stores ~derived rules =
     end
     else Edb.tuples base pred
   in
-  let ordered = ordered_rules program rules in
+  let ordered = ordered_rules ~order program ~base rules in
   let commit pred args =
     let s = store_of pred in
     if
@@ -261,7 +275,8 @@ let eval_loop ~variant ~first ~fuel program ~base ~stores ~derived rules =
     (fun pred s acc -> Edb.add_all pred (Tuples.elements s.full) acc)
     stores Edb.empty
 
-let run ~variant ?(fuel = Limits.default ()) program ~base rules =
+let run ~variant ?(fuel = Limits.default ()) ?(order = `Syntactic) program
+    ~base rules =
   Obs.span "seminaive" @@ fun () ->
   let stores : (string, store) Hashtbl.t = Hashtbl.create 16 in
   let derived = List.map Rule.head_pred rules in
@@ -279,9 +294,11 @@ let run ~variant ?(fuel = Limits.default ()) program ~base rules =
         Hashtbl.add stores pred s
       end)
     derived;
-  eval_loop ~variant ~first:`Full ~fuel program ~base ~stores ~derived rules
+  eval_loop ~variant ~first:`Full ~fuel ~order program ~base ~stores ~derived
+    rules
 
-let resume ?(fuel = Limits.default ()) ?adds program ~base ~init rules =
+let resume ?(fuel = Limits.default ()) ?(order = `Syntactic) ?adds program
+    ~base ~init rules =
   Obs.span "seminaive.resume" @@ fun () ->
   let stores : (string, store) Hashtbl.t = Hashtbl.create 16 in
   let derived = List.map Rule.head_pred rules in
@@ -306,10 +323,10 @@ let resume ?(fuel = Limits.default ()) ?adds program ~base ~init rules =
       end)
     derived;
   let first = match adds with None -> `Full | Some a -> `Adds a in
-  eval_loop ~variant:`Seminaive ~first ~fuel program ~base ~stores ~derived
-    rules
+  eval_loop ~variant:`Seminaive ~first ~fuel ~order program ~base ~stores
+    ~derived rules
 
-let delta_heads program ~base ~frontier rules =
+let delta_heads ?order program ~base ~frontier rules =
   let builtins = program.Program.builtins in
   let lookup pred src =
     match src with
@@ -329,15 +346,16 @@ let delta_heads program ~base ~frontier rules =
                 | None -> ())
           | Literal.Pos _ | Literal.Neg _ | Literal.Eq _ | Literal.Neq _ -> ())
         body)
-    (ordered_rules program rules);
+    (ordered_rules ?order program ~base rules);
   !out
 
-let naive ?fuel program ~base rules = run ~variant:`Naive ?fuel program ~base rules
+let naive ?fuel ?order program ~base rules =
+  run ~variant:`Naive ?fuel ?order program ~base rules
 
-let seminaive ?fuel program ~base rules =
-  run ~variant:`Seminaive ?fuel program ~base rules
+let seminaive ?fuel ?order program ~base rules =
+  run ~variant:`Seminaive ?fuel ?order program ~base rules
 
-let stratified ?fuel program edb =
+let stratified ?fuel ?order program edb =
   match Safety.check program with
   | Error violations ->
     Error
@@ -352,7 +370,8 @@ let stratified ?fuel program edb =
         let rules =
           List.filter (fun r -> List.mem (Rule.head_pred r) group) program.Program.rules
         in
-        if rules = [] then Edb.empty else seminaive ?fuel program ~base rules
+        if rules = [] then Edb.empty
+        else seminaive ?fuel ?order program ~base rules
       in
       (* With a live pool, a stratum splits into the connected components
          of its dependency graph: components cannot read each other's

@@ -1,6 +1,7 @@
 type span_stat = {
   mutable calls : int;
   mutable total_ms : float;
+  mutable min_ms : float;
   mutable max_ms : float;
 }
 
@@ -40,10 +41,13 @@ let sink t =
     | Event.Span_begin _ -> ()
     | Event.Span_end { span; ms; _ } ->
       let s =
-        find t.spans (fun () -> { calls = 0; total_ms = 0.; max_ms = 0. }) span
+        find t.spans
+          (fun () -> { calls = 0; total_ms = 0.; min_ms = infinity; max_ms = 0. })
+          span
       in
       s.calls <- s.calls + 1;
       s.total_ms <- s.total_ms +. ms;
+      if ms < s.min_ms then s.min_ms <- ms;
       if ms > s.max_ms then s.max_ms <- ms
     | Event.Count { counter; n; _ } ->
       let c =
@@ -73,16 +77,50 @@ let span_calls t name =
 let span_total_ms t name =
   match Hashtbl.find_opt t.spans name with Some s -> s.total_ms | None -> 0.
 
+let span_min_ms t name =
+  match Hashtbl.find_opt t.spans name with
+  | Some s when s.calls > 0 -> s.min_ms
+  | Some _ | None -> 0.
+
+let span_max_ms t name =
+  match Hashtbl.find_opt t.spans name with Some s -> s.max_ms | None -> 0.
+
+let span_mean_ms t name =
+  match Hashtbl.find_opt t.spans name with
+  | Some s when s.calls > 0 -> s.total_ms /. float_of_int s.calls
+  | Some _ | None -> 0.
+
 let counter_events t name =
   match Hashtbl.find_opt t.counters name with Some c -> c.events | None -> 0
 
 let counter_total t name =
   match Hashtbl.find_opt t.counters name with Some c -> c.total | None -> 0
 
+let counter_max t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c when c.events > 0 -> c.max_n
+  | Some _ | None -> 0
+
 let counter_series t name =
   match Hashtbl.find_opt t.counters name with
   | Some c -> List.rev c.series_rev
   | None -> []
+
+let gauge_samples t name =
+  match Hashtbl.find_opt t.gauges name with Some g -> g.samples | None -> 0
+
+let gauge_last t name =
+  match Hashtbl.find_opt t.gauges name with
+  | Some g when g.samples > 0 -> Some g.last
+  | Some _ | None -> None
+
+let gauge_max t name =
+  match Hashtbl.find_opt t.gauges name with
+  | Some g when g.samples > 0 -> Some g.max_v
+  | Some _ | None -> None
+
+let fold_gauges f t acc =
+  Hashtbl.fold (fun name g acc -> f name ~last:g.last ~max:g.max_v acc) t.gauges acc
 
 let sorted_bindings tbl =
   List.sort
@@ -95,10 +133,14 @@ let pp ppf t =
   let gauges = sorted_bindings t.gauges in
   Fmt.pf ppf "== obs profile ==@.";
   if spans <> [] then begin
-    Fmt.pf ppf "%-44s %8s %12s %12s@." "span" "calls" "total ms" "max ms";
+    Fmt.pf ppf "%-44s %8s %12s %10s %10s %10s@." "span" "calls" "total ms" "min ms"
+      "mean ms" "max ms";
     List.iter
       (fun (name, s) ->
-        Fmt.pf ppf "%-44s %8d %12.3f %12.3f@." name s.calls s.total_ms s.max_ms)
+        let min_ms = if s.calls > 0 then s.min_ms else 0. in
+        let mean_ms = if s.calls > 0 then s.total_ms /. float_of_int s.calls else 0. in
+        Fmt.pf ppf "%-44s %8d %12.3f %10.3f %10.3f %10.3f@." name s.calls s.total_ms
+          min_ms mean_ms s.max_ms)
       spans
   end;
   if counters <> [] then begin

@@ -16,6 +16,17 @@ val span_calls : t -> string -> int
 
 val span_total_ms : t -> string -> float
 
+val span_min_ms : t -> string -> float
+(** Shortest single invocation ([0.] if never seen). *)
+
+val span_max_ms : t -> string -> float
+(** Longest single invocation ([0.] if never seen). *)
+
+val span_mean_ms : t -> string -> float
+(** [total_ms / calls] ([0.] if never seen) — with {!span_min_ms} and
+    {!span_max_ms} this gives EXPLAIN output and the planner's sampling
+    pass a variance picture, not just totals. *)
+
 val counter_events : t -> string -> int
 (** Number of emissions of the counter — e.g. the number of fixpoint
     iterations when the engine emits one delta-size count per round. *)
@@ -23,9 +34,23 @@ val counter_events : t -> string -> int
 val counter_total : t -> string -> int
 (** Sum of the emitted increments. *)
 
+val counter_max : t -> string -> int
+(** Largest single emitted increment ([0] if never seen) — e.g. the peak
+    intermediate cardinality when the engine emits one [join/out] count
+    per join. *)
+
 val counter_series : t -> string -> int list
 (** The emitted increments in emission order — e.g. the per-iteration
     delta sizes of a semi-naive run. *)
+
+val gauge_samples : t -> string -> int
+val gauge_last : t -> string -> float option
+val gauge_max : t -> string -> float option
+
+val fold_gauges :
+  (string -> last:float -> max:float -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over all recorded gauges in unspecified order — how the planner
+    harvests [db/card/*] cardinality gauges from a prior run's summary. *)
 
 val pp : Format.formatter -> t -> unit
 (** The EXPLAIN-style table: one section for spans, one for counters,

@@ -34,7 +34,10 @@ let contains ~needle hay =
   go 0
 
 let verbs = [ "run"; "alg"; "query"; "update"; "check"; "translate" ]
-let shared_flags = [ "--fuel"; "--trace"; "--profile"; "--stats"; "--domains" ]
+
+let shared_flags =
+  [ "--fuel"; "--trace"; "--profile"; "--stats"; "--domains"; "--plan";
+    "--par-threshold"; "--stats-file" ]
 
 let test_parity () =
   match find_exe () with

@@ -168,6 +168,35 @@ let test_strata_order () =
     Alcotest.(check bool) "b before c" true (stratum_of "b" < stratum_of "c")
   | Error e -> Alcotest.fail e
 
+let check_components = Alcotest.(check (list (list string)))
+
+let test_components_edges () =
+  (* Edge cases of the dependency-graph component split the parallel
+     stratum evaluators rely on. Empty program: no edges, so every
+     predicate is its own component and the empty split is empty. *)
+  let empty, _ = parse "" in
+  check_components "empty/empty" [] (Stratify.components empty []);
+  check_components "empty program: singletons" [ [ "p" ]; [ "q" ] ]
+    (Stratify.components empty [ "p"; "q" ]);
+  (* Self-loop-only rules: a self-edge connects a predicate to nothing
+     else, so the split is still singletons — in the order given, which
+     is the evaluation order the caller fixed. *)
+  let selfish, _ = parse "p(X) :- p(X). q(X) :- q(X)." in
+  check_components "self-loops: singletons" [ [ "p" ]; [ "q" ] ]
+    (Stratify.components selfish [ "p"; "q" ]);
+  check_components "order follows the input" [ [ "q" ]; [ "p" ] ]
+    (Stratify.components selfish [ "q"; "p" ]);
+  (* A chain of dependencies spans all predicates: one component, even
+     though the edges are directed head -> body and taken undirected. *)
+  let chain, _ = parse "a(X) :- b(X). b(X) :- c(X). c(X) :- d(X)." in
+  check_components "single component spans all"
+    [ [ "a"; "b"; "c"; "d" ] ]
+    (Stratify.components chain [ "a"; "b"; "c"; "d" ]);
+  (* Restricting the predicate set restricts the graph: without [b] the
+     a-c connection is severed. *)
+  check_components "restriction severs" [ [ "a" ]; [ "c"; "d" ] ]
+    (Stratify.components chain [ "a"; "c"; "d" ])
+
 (* --- Grounding --- *)
 
 let test_grounding_size () =
@@ -434,6 +463,7 @@ let suite =
     Alcotest.test_case "stratified yes" `Quick test_stratified_yes;
     Alcotest.test_case "stratified no" `Quick test_stratified_no;
     Alcotest.test_case "strata order" `Quick test_strata_order;
+    Alcotest.test_case "components edge cases" `Quick test_components_edges;
     Alcotest.test_case "grounding size" `Quick test_grounding_size;
     Alcotest.test_case "grounding interns negatives" `Quick test_grounding_negative_atoms_interned;
     Alcotest.test_case "grounding diverges with fuel" `Quick test_grounding_diverges;

@@ -154,6 +154,32 @@ let test_summary_grounder_counters () =
   Alcotest.(check bool) "envelope reported" true
     (Obs.Summary.counter_total sum "ground/envelope" > 0)
 
+let test_summary_span_extrema () =
+  (* Per-span min/max/mean: three spans of the same name, one of which
+     does measurably more work. The clock is not ours to pin down, so
+     assert the order invariants rather than absolute times. *)
+  let sum = Obs.Summary.create () in
+  Obs.with_sink (Obs.Summary.sink sum) (fun () ->
+      let busy n = Obs.span "w" (fun () -> ignore (Sys.opaque_identity (chain_db n))) in
+      busy 1;
+      busy 2_000;
+      busy 1);
+  let min_ms = Obs.Summary.span_min_ms sum "w"
+  and max_ms = Obs.Summary.span_max_ms sum "w"
+  and mean_ms = Obs.Summary.span_mean_ms sum "w"
+  and total_ms = Obs.Summary.span_total_ms sum "w" in
+  Alcotest.(check int) "calls" 3 (Obs.Summary.span_calls sum "w");
+  Alcotest.(check bool) "min <= mean" true (min_ms <= mean_ms);
+  Alcotest.(check bool) "mean <= max" true (mean_ms <= max_ms);
+  Alcotest.(check bool) "mean = total/calls" true
+    (Float.abs ((mean_ms *. 3.) -. total_ms) <= 1e-9 *. Float.max 1. total_ms);
+  Alcotest.(check bool) "max <= total" true (max_ms <= total_ms);
+  (* An unseen span reports zeros, not an error. *)
+  Alcotest.(check int) "unseen calls" 0 (Obs.Summary.span_calls sum "nope");
+  Alcotest.(check (float 0.)) "unseen min" 0. (Obs.Summary.span_min_ms sum "nope");
+  Alcotest.(check (float 0.)) "unseen max" 0. (Obs.Summary.span_max_ms sum "nope");
+  Alcotest.(check (float 0.)) "unseen mean" 0. (Obs.Summary.span_mean_ms sum "nope")
+
 let test_summary_rewrite_cache () =
   let spec = Spec.Prelude.nat_spec in
   let rec nat k = if k = 0 then Spec.Term.const "ZERO" else Spec.Term.op "SUCC" [ nat (k - 1) ] in
@@ -301,6 +327,8 @@ let suite =
       test_summary_valid_rounds;
     Alcotest.test_case "summary: grounder counters" `Quick
       test_summary_grounder_counters;
+    Alcotest.test_case "summary: span min/max/mean" `Quick
+      test_summary_span_extrema;
     Alcotest.test_case "summary: rewrite cache hit/miss" `Quick
       test_summary_rewrite_cache;
     Alcotest.test_case "fuel message clean when untraced" `Quick

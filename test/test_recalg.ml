@@ -16,6 +16,7 @@ let () =
       ("alg-parser", Test_alg_parser.suite);
       ("spec", Test_spec.suite);
       ("obs", Test_obs.suite);
+      ("plan", Test_plan.suite);
       ("parallel", Test_parallel.suite);
       ("parameterized", Test_parameterized.suite);
     ]
