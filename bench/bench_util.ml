@@ -20,6 +20,31 @@ let time_ms ?(runs = 3) f =
   let _, result = List.nth samples 0 in
   (median, result)
 
+(* Median wall-clock ms of [a] and [b] over [runs] interleaved
+   executions. Interleaving the pair inside each sample cancels the
+   load/frequency drift that biases two back-to-back [time_ms] blocks —
+   what the overhead experiment (E15) needs, since its signal is a
+   ratio of a few percent. *)
+let time_pair_ms ?(runs = 9) a b =
+  let once f =
+    let t0 = Clock.now () in
+    let r = f () in
+    let t1 = Clock.now () in
+    (Int64.to_float (Int64.sub t1 t0) /. 1e6, r)
+  in
+  let samples = List.init runs (fun _ -> (once a, once b)) in
+  let median xs = List.nth (List.sort compare xs) (runs / 2) in
+  let a_ms = median (List.map (fun ((t, _), _) -> t) samples) in
+  let b_ms = median (List.map (fun (_, (t, _)) -> t) samples) in
+  (* The ratio is the median of per-sample ratios, not the ratio of
+     medians: each sample's pair ran back to back, so machine-load
+     drift over the whole sweep cancels within it. *)
+  let ratio =
+    median (List.map (fun ((ta, _), (tb, _)) -> tb /. ta) samples)
+  in
+  let (_, ra), (_, rb) = List.hd samples in
+  (a_ms, b_ms, ratio, ra, rb)
+
 (* Run a list of named thunks through Bechamel's OLS analysis and return
    nanoseconds per run. *)
 let bechamel_ns_per_run tests =
@@ -120,7 +145,8 @@ let flush_json () =
         Buffer.add_string buf "}")
       (List.rev !records);
     Buffer.add_string buf "\n]\n";
-    let oc = open_out path in
-    output_string oc (Buffer.contents buf);
-    close_out oc;
+    (* tmp + rename: an interrupted bench run never leaves a torn
+       records file for check_records.py to choke on. *)
+    Recalg.Safe_io.with_file path (fun oc ->
+        output_string oc (Buffer.contents buf));
     Fmt.pr "@.wrote %d bench record(s) to %s@." (List.length !records) path

@@ -89,18 +89,45 @@ def check_e14(records):
                for r in records), "no record reports a reorder or semijoin"
 
 
-CHECKS = {"e12": check_e12, "e13": check_e13, "e14": check_e14}
+def check_e15(records, max_overhead=None):
+    """Governance overhead: governed budgets change nothing but time,
+    and not much of that.  The overhead threshold is only asserted when
+    one is passed on the command line: strict (1.03) against the
+    committed record, lenient against a fresh run on a shared CI
+    runner.  Each record's ratio is already a median of per-sample
+    back-to-back ratios, so it is drift-resistant but not noise-free.
+    """
+    for i, r in enumerate(records):
+        require(r, i, ("workload", "plain_ms", "governed_ms",
+                       "overhead_ratio", "agree", "fuel_identical"))
+        assert r["agree"] is True, f"record {i}: governed result diverged"
+        assert r["fuel_identical"] is True, \
+            f"record {i}: governed run spent different fuel"
+        assert r["overhead_ratio"] > 0, f"record {i}: bogus overhead ratio"
+        if max_overhead is not None:
+            assert r["overhead_ratio"] <= max_overhead, \
+                (f"record {i} ({r['workload']}): governance overhead "
+                 f"{r['overhead_ratio']:.3f}x exceeds {max_overhead}x")
+
+
+CHECKS = {"e12": check_e12, "e13": check_e13, "e14": check_e14,
+          "e15": check_e15}
 
 
 def main():
-    if len(sys.argv) != 3 or sys.argv[1] not in CHECKS:
+    if len(sys.argv) not in (3, 4) or sys.argv[1] not in CHECKS:
         known = ", ".join(sorted(CHECKS))
-        sys.exit(f"usage: check_records.py <{known}> <records.json>")
+        sys.exit(f"usage: check_records.py <{known}> <records.json> "
+                 "[max_overhead]")
     experiment, path = sys.argv[1], sys.argv[2]
     with open(path) as fh:
         records = json.load(fh)
     assert records, f"no {experiment} records"
-    CHECKS[experiment](records)
+    if len(sys.argv) == 4:
+        assert experiment == "e15", "a threshold only applies to e15"
+        CHECKS[experiment](records, float(sys.argv[3]))
+    else:
+        CHECKS[experiment](records)
     print(f"{len(records)} {experiment} records, schema ok")
 
 

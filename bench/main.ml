@@ -975,11 +975,77 @@ let e14 () =
   in
   contest (Printf.sprintf "semijoin_%dx%d" na nb) semi_db semi_expr
 
+(* ------------------------------------------------------------------ *)
+(* E15 — resource-governance overhead: governed vs plain budgets.      *)
+
+(* The governance contract (DESIGN.md #11): arming deadline + memory
+   ceilings that never trip must cost under 3% against the plain fuel
+   path on spend-heavy workloads, and must not change a single result
+   or fuel count. [check_records.py e15] re-checks the committed
+   record against the strict threshold. *)
+let e15 () =
+  U.hr "E15: resource-governance overhead, governed vs plain fuel";
+  U.row "%-16s %10s %12s %10s %7s %6s@." "workload" "plain ms" "governed ms"
+    "overhead" "agree" "fuel=";
+  let fuel_units = 1_000_000_000 in
+  let plain () = Limits.of_int fuel_units in
+  (* Every ceiling armed, none remotely reachable: what is measured is
+     the pure cost of the checks on the fuel hot path and at the round
+     boundaries. *)
+  let governed () =
+    Limits.governed ~fuel:fuel_units ~timeout_ms:3_600_000
+      ~memory_limit_mb:1_048_576 ()
+  in
+  let runs = if U.is_smoke () then 3 else 11 in
+  let run name (eval : Limits.fuel -> int) =
+    (* Warm both paths once (interner, minor heap) before timing. *)
+    ignore (eval (plain ()));
+    ignore (eval (governed ()));
+    let plain_ms, governed_ms, overhead, plain_fp, governed_fp =
+      U.time_pair_ms ~runs
+        (fun () -> eval (plain ()))
+        (fun () -> eval (governed ()))
+    in
+    let spent mk =
+      let fuel = mk () in
+      ignore (eval fuel);
+      Limits.remaining fuel
+    in
+    let agree = plain_fp = governed_fp in
+    let fuel_identical = spent plain = spent governed in
+    assert agree;
+    assert fuel_identical;
+    U.row "%-16s %10.2f %12.2f %9.3fx %7b %6b@." name plain_ms governed_ms
+      overhead agree fuel_identical;
+    U.record
+      [ ("experiment", U.S "e15");
+        ("workload", U.S name);
+        ("plain_ms", U.F plain_ms);
+        ("governed_ms", U.F governed_ms);
+        ("overhead_ratio", U.F overhead);
+        ("agree", U.B agree);
+        ("fuel_identical", U.B fuel_identical) ]
+  in
+  let wn = if U.is_smoke () then 60 else 150 in
+  let win_edb = W.edb_of ~pred:"move" (W.random_graph ~nodes:wn ~edges:(2 * wn) ~seed:7) in
+  run (Fmt.str "valid-win-%d" wn) (fun fuel ->
+      let interp = Datalog.Run.valid ~fuel W.win_program win_edb in
+      List.length (Datalog.Interp.true_tuples interp "win"));
+  let no_defs = Algebra.Defs.make [] in
+  let cn = if U.is_smoke () then 64 else 256 in
+  let tc_db = W.db_of ~rel:"edge" (W.chain cn) in
+  run (Fmt.str "tc-chain-%d" cn) (fun fuel ->
+      Value.hash (Algebra.Eval.eval ~fuel no_defs tc_db W.tc_ifp));
+  let sn = if U.is_smoke () then 15 else 63 in
+  let sg_db = W.db_of ~rel:"edge" (W.tree sn) in
+  run (Fmt.str "sg-tree-%d" sn) (fun fuel ->
+      Value.hash (Algebra.Eval.eval ~fuel no_defs sg_db W.sg_ifp))
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14);
+    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
   ]
 
 let () =
@@ -1023,7 +1089,7 @@ let () =
           | None ->
             if String.equal name "micro" then micro ()
             else begin
-              Fmt.epr "unknown experiment %s (e1..e14, micro)@." name;
+              Fmt.epr "unknown experiment %s (e1..e15, micro)@." name;
               exit 2
             end)
         names
@@ -1031,8 +1097,8 @@ let () =
   (match !trace with
   | None -> go ()
   | Some path ->
-    let oc = open_out path in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () -> Datalog.Run.with_obs (Obs.Sink.jsonl oc) go));
+    (* tmp + rename (and the channel closed before the rename), so an
+       interrupted run never leaves a torn trace. *)
+    Safe_io.with_file path (fun oc ->
+        Datalog.Run.with_obs (Obs.Sink.jsonl oc) go));
   U.flush_json ()

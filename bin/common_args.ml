@@ -8,6 +8,9 @@ open Cmdliner
 
 type t = {
   fuel : int;
+  timeout_ms : int option;
+  memory_limit_mb : int option;
+  degrade : bool;
   stats : bool;
   trace : string option;
   profile : bool;
@@ -36,6 +39,39 @@ let default_par_threshold () =
 let term =
   let fuel =
     Arg.(value & opt int 1_000_000 & info [ "fuel" ] ~doc:"Evaluation step budget.")
+  in
+  let timeout_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock deadline for the whole evaluation, in \
+             milliseconds. Exceeding it aborts with a structured \
+             resource error and exit code 4. Checked at fixpoint-round, \
+             pool-task and join-partition boundaries and every 64th \
+             fuel tick.")
+  in
+  let memory_limit_mb =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "memory-limit" ] ~docv:"MB"
+          ~doc:
+            "Major-heap ceiling, in megabytes (measured via \
+             $(b,Gc.quick_stat), so garbage not yet collected counts). \
+             Exceeding it aborts with exit code 5.")
+  in
+  let degrade =
+    Arg.(
+      value & flag
+      & info [ "degrade" ]
+          ~doc:
+            "Graceful degradation: when a resource limit trips inside a \
+             monotone fixpoint (IFP, semi-naive), return the facts \
+             derived so far — a sound under-approximation, explicitly \
+             marked incomplete on stderr — instead of discarding them. \
+             The exit code still reports the exhausted resource.")
   in
   let domains =
     Arg.(
@@ -118,14 +154,34 @@ let term =
              span timings, fixpoint iteration counts, per-engine \
              counters, and (with $(b,--plan)) the chosen join orders.")
   in
-  let make fuel stats trace profile domains plan par_threshold stats_file =
-    { fuel; stats; trace; profile; domains; plan; par_threshold; stats_file }
+  let make fuel timeout_ms memory_limit_mb degrade stats trace profile domains
+      plan par_threshold stats_file =
+    {
+      fuel;
+      timeout_ms;
+      memory_limit_mb;
+      degrade;
+      stats;
+      trace;
+      profile;
+      domains;
+      plan;
+      par_threshold;
+      stats_file;
+    }
   in
   Term.(
-    const make $ fuel $ stats $ trace $ profile $ domains $ plan
-    $ par_threshold $ stats_file)
+    const make $ fuel $ timeout_ms $ memory_limit_mb $ degrade $ stats $ trace
+    $ profile $ domains $ plan $ par_threshold $ stats_file)
 
-let fuel_of t = Limits.of_int t.fuel
+(* Plain fuel stays on the historical zero-overhead path; any governance
+   knob upgrades the budget to a governed one. *)
+let fuel_of t =
+  match t.timeout_ms, t.memory_limit_mb, t.degrade with
+  | None, None, false -> Limits.of_int t.fuel
+  | _ ->
+    Limits.governed ~fuel:t.fuel ?timeout_ms:t.timeout_ms
+      ?memory_limit_mb:t.memory_limit_mb ~degrade:t.degrade ()
 
 let order_of t : [ `Syntactic | `Stats ] =
   match t.plan with
@@ -161,27 +217,67 @@ let report_plan t planner =
 let report_stats t =
   if t.stats then Fmt.epr "%a@." Value.Stats.pp (Value.Stats.snapshot ())
 
-(* Run [f] with whatever reporting [t] asks for, on the pool size [t]
-   requests (the workers are joined at process exit). With neither
-   --trace nor --profile no sink is installed, so the engines'
-   instrumentation stays disabled no-ops. *)
+(* Exit-code contract (documented in the README): parse errors exit 2
+   before evaluation starts; resource exhaustion maps fuel -> 3,
+   deadline -> 4, and cancellation/memory -> 5. *)
+let exit_code = function
+  | Limits.Fuel -> 3
+  | Limits.Deadline -> 4
+  | Limits.Memory | Limits.Cancelled -> 5
+
+(* Run [f] — which receives the budget built from [t] — with whatever
+   reporting [t] asks for, on the pool size [t] requests (the workers
+   are joined at process exit). A sink is always installed (null when
+   neither --trace nor --profile asked for one) so the obs layer tracks
+   span paths and a resource error can say where it died. The budget is
+   installed as the ambient one, extending deadline/cancellation checks
+   to pool tasks and join partitions. Resource errors are caught here,
+   reported, and turned into the documented exit codes — after the
+   trace file (written via tmp + rename) has been completed, so an
+   aborted run still leaves a whole, readable trace. *)
 let with_reporting t f =
   Pool.set_domains t.domains;
   Algebra.Join.par_threshold := t.par_threshold;
-  match t.trace, t.profile with
-  | None, false -> Fun.protect ~finally:(fun () -> report_stats t) f
-  | _ ->
-    let summary = if t.profile then Some (Obs.Summary.create ()) else None in
-    let oc = Option.map open_out t.trace in
+  let fuel = fuel_of t in
+  let code = ref 0 in
+  let summary = if t.profile then Some (Obs.Summary.create ()) else None in
+  let go oc =
     let sink =
-      match Option.map Obs.Sink.jsonl oc, Option.map Obs.Summary.sink summary with
+      match
+        Option.map Obs.Sink.jsonl oc, Option.map Obs.Summary.sink summary
+      with
       | Some a, Some b -> Obs.Sink.tee a b
       | Some s, None | None, Some s -> s
       | None, None -> Obs.Sink.null
     in
-    Fun.protect
-      ~finally:(fun () ->
-        Option.iter close_out oc;
-        Option.iter (fun s -> Fmt.epr "%a@." Obs.Summary.pp s) summary;
-        report_stats t)
-      (fun () -> Datalog.Run.with_obs sink f)
+    Datalog.Run.with_obs sink @@ fun () ->
+    try Limits.with_active fuel (fun () -> f fuel) with
+    | (Limits.Diverged _ | Limits.Resource_exhausted _) as e ->
+      Fmt.epr "error: %s@."
+        (Option.value (Limits.describe e) ~default:(Printexc.to_string e));
+      code :=
+        (match e with
+        | Limits.Resource_exhausted { kind; _ } -> exit_code kind
+        | _ -> exit_code Limits.Fuel)
+    | Faultinj.Injected { site; hit } ->
+      (* Chaos runs (RECALG_FAULTS) die cleanly like any other abort:
+         state already rolled back by the engines, trace file completed
+         below, generic failure exit. *)
+      Fmt.epr "error: injected fault at %s (hit %d)@." site hit;
+      code := 1
+  in
+  (match t.trace with
+  | None -> go None
+  | Some path -> Safe_io.with_file path (fun oc -> go (Some oc)));
+  Option.iter (fun s -> Fmt.epr "%a@." Obs.Summary.pp s) summary;
+  report_stats t;
+  (match Limits.degraded fuel with
+  | Some (kind, what) ->
+    (* [what] is the full exhaustion message, engine context included. *)
+    Fmt.epr
+      "warning: incomplete result (%s) — printed facts are a sound \
+       under-approximation@."
+      what;
+    code := exit_code kind
+  | None -> ());
+  if !code <> 0 then exit !code

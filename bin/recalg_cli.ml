@@ -49,9 +49,8 @@ let run_cmd =
   in
   let run file semantics common =
     let program, edb = load file in
-    let fuel = Common_args.fuel_of common in
     let order = Common_args.order_of common in
-    Common_args.with_reporting common @@ fun () ->
+    Common_args.with_reporting common @@ fun fuel ->
     match semantics with
     | `Valid -> pp_interp (Datalog.Run.valid ~fuel ~order program edb)
     | `Wf -> pp_interp (Datalog.Run.wellfounded ~fuel ~order program edb)
@@ -78,7 +77,7 @@ let run_cmd =
 let check_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.dl") in
   let check file common =
-    Common_args.with_reporting common @@ fun () ->
+    Common_args.with_reporting common @@ fun _fuel ->
     let program, _ = load file in
     (match Datalog.Safety.check program with
     | Ok () -> Fmt.pr "safe: yes@."
@@ -98,7 +97,7 @@ let check_cmd =
 let translate_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.dl") in
   let translate file common =
-    Common_args.with_reporting common @@ fun () ->
+    Common_args.with_reporting common @@ fun _fuel ->
     let program, edb = load file in
     let tr = Translate.Datalog_to_alg.translate program edb in
     Fmt.pr "-- algebra= program (Proposition 6.1) --@.";
@@ -170,9 +169,8 @@ let update_cmd =
   in
   let update file updates semantics common =
     let program, edb = load file in
-    let fuel = Common_args.fuel_of common in
     let batches = parse_updates program.Datalog.Program.builtins updates in
-    Common_args.with_reporting common @@ fun () ->
+    Common_args.with_reporting common @@ fun fuel ->
     match semantics with
     | `Strat -> (
       match Datalog.Incremental.init ~fuel program edb with
@@ -212,8 +210,7 @@ let alg_cmd =
          & info [ "window" ] ~doc:"Intersect constants with the integers 0..N.")
   in
   let alg file window common =
-    let fuel = Common_args.fuel_of common in
-    Common_args.with_reporting common @@ fun () ->
+    Common_args.with_reporting common @@ fun fuel ->
     match Algebra.Parser.parse_program (read_file file) with
     | Error msg ->
       Fmt.epr "parse error in %s: %s@." file msg;
@@ -271,8 +268,7 @@ let query_cmd =
   in
   let query file goal common =
     let program, edb = load file in
-    let fuel = Common_args.fuel_of common in
-    Common_args.with_reporting common @@ fun () ->
+    Common_args.with_reporting common @@ fun fuel ->
     (* A goal is one bodyless rule's head. *)
     match Datalog.Parser.parse_rule (goal ^ ".") with
     | Error msg ->

@@ -82,47 +82,80 @@ let eval ?(fuel = Limits.default ()) ?(strategy = Delta.Seminaive)
         Option.value (advice.Advice.ifp_strategy x body) ~default:strategy
       in
       let full s = go visiting ((x, s) :: env) body in
+      (* Each round starts with an unamortized budget probe (deadline /
+         memory / cancellation notice promptly even when fuel is
+         unlimited) and the eval/round chaos point. Under a
+         [~degrade:true] budget, exhaustion anywhere in a round is
+         caught here: the accumulated set — a sound under-approximation
+         of the monotone fixpoint — is returned and the budget latched
+         as degraded. Injected faults are never degradable. *)
       let naive () =
         let rec iterate s =
-          Limits.spend fuel ~what:"IFP iteration";
-          Obs.count "eval/ifp_iter" 1;
-          let s' = Value.union s (full s) in
-          Obs.countf "eval/ifp_delta" (fun () ->
-              Value.cardinal s' - Value.cardinal s);
-          if Value.equal s s' then s else iterate s'
+          match
+            Limits.check fuel ~what:"IFP round";
+            Faultinj.hit "eval/round";
+            Limits.spend fuel ~what:"IFP iteration";
+            Obs.count "eval/ifp_iter" 1;
+            let s' = Value.union s (full s) in
+            Obs.countf "eval/ifp_delta" (fun () ->
+                Value.cardinal s' - Value.cardinal s);
+            if Value.equal s s' then None else Some s'
+          with
+          | exception e when Limits.degradable fuel e ->
+            Limits.latch fuel e;
+            s
+          | None -> s
+          | Some s' -> iterate s'
         in
         iterate Value.empty_set
       in
       (match strategy with
       | Delta.Naive -> naive ()
       | Delta.Seminaive when not (Delta.eligible [ x ] body) -> naive ()
-      | Delta.Seminaive ->
+      | Delta.Seminaive -> (
         (* Semi-naive: after the first full pass, each round joins only
            the delta of the previous round against the accumulated set.
            Visits the same states as [naive] on the same rounds (and
            spends the same fuel) — see {!Delta}. *)
-        Limits.spend fuel ~what:"IFP iteration";
-        Obs.count "eval/ifp_iter" 1;
-        let s0 = full Value.empty_set in
-        Obs.countf "eval/ifp_delta" (fun () -> Value.cardinal s0);
-        let rec loop s d =
-          if Delta.is_empty d then s
-          else begin
-            Limits.spend fuel ~what:"IFP iteration";
-            Obs.count "eval/ifp_iter" 1;
-            let derived =
-              Delta.derive ~builtins ~join ~join_mode:advice.Advice.join_mode
-                ~join_par:advice.Advice.join_par
-                ~eval:(fun e -> go visiting ((x, s) :: env) e)
-                ~deltas:[ (x, d) ]
-                body
-            in
-            let d' = Value.diff derived s in
-            Obs.countf "eval/ifp_delta" (fun () -> Value.cardinal d');
-            loop (Value.union s d') d'
-          end
-        in
-        loop s0 s0)
+        match
+          Limits.check fuel ~what:"IFP round";
+          Faultinj.hit "eval/round";
+          Limits.spend fuel ~what:"IFP iteration";
+          Obs.count "eval/ifp_iter" 1;
+          let s0 = full Value.empty_set in
+          Obs.countf "eval/ifp_delta" (fun () -> Value.cardinal s0);
+          s0
+        with
+        | exception e when Limits.degradable fuel e ->
+          Limits.latch fuel e;
+          Value.empty_set
+        | s0 ->
+          let rec loop s d =
+            if Delta.is_empty d then s
+            else
+              match
+                Limits.check fuel ~what:"IFP round";
+                Faultinj.hit "eval/round";
+                Limits.spend fuel ~what:"IFP iteration";
+                Obs.count "eval/ifp_iter" 1;
+                let derived =
+                  Delta.derive ~builtins ~join
+                    ~join_mode:advice.Advice.join_mode
+                    ~join_par:advice.Advice.join_par
+                    ~eval:(fun e -> go visiting ((x, s) :: env) e)
+                    ~deltas:[ (x, d) ]
+                    body
+                in
+                let d' = Value.diff derived s in
+                Obs.countf "eval/ifp_delta" (fun () -> Value.cardinal d');
+                d'
+              with
+              | exception e when Limits.degradable fuel e ->
+                Limits.latch fuel e;
+                s
+              | d' -> loop (Value.union s d') d'
+          in
+          loop s0 s0))
     | Expr.Call _ -> go visiting env (advise (Defs.inline defs e))
   in
   go [] [] (advise (Defs.inline defs expr))

@@ -473,18 +473,63 @@ let count_batch deltas =
     Obs.count "incr/retractions" dels
   end
 
+(* The batch's whole mutation surface: [eng.db], each node's [value],
+   and the [Map_n] image multiset refs — all holding immutable values,
+   so a snapshot is one pointer per cell and restoring it is exact. *)
+let rec snapshot_nodes node acc =
+  let acc =
+    ( node,
+      node.value,
+      match node.shape with Map_n (_, _, img) -> Some !img | _ -> None )
+    :: acc
+  in
+  match node.shape with
+  | Leaf_rel _ | Leaf_lit | Ifp_n _ -> acc
+  | Union_n (a, b) | Diff_n (a, b) | Product_n (a, b) | Join_n (_, a, b) ->
+    snapshot_nodes b (snapshot_nodes a acc)
+  | Select_n (_, a) | Map_n (_, a, _) -> snapshot_nodes a acc
+
+let restore_nodes snaps =
+  List.iter
+    (fun (node, value, img) ->
+      node.value <- value;
+      match node.shape, img with
+      | Map_n (_, _, r), Some z -> r := z
+      | _, _ -> ())
+    snaps
+
+(* All-or-nothing, mirroring [Datalog.Incremental.update]: any
+   exception mid-batch restores the pre-batch snapshot before
+   re-raising, and a degradation latched by the inner [Eval] is
+   promoted back to an abort — a silently under-approximated
+   materialization would poison every later repair. *)
 let update eng u =
   Obs.span "incremental.update" @@ fun () ->
   let old_db = eng.db in
-  let deltas = Update.effective old_db u in
-  eng.db <- Update.apply u old_db;
-  (match deltas with
-  | [] -> ()
-  | deltas ->
-    count_batch deltas;
-    Limits.spend eng.fuel ~what:"incremental: update batch";
-    ignore (repair eng ~old_db deltas eng.root));
-  eng.root.value
+  let snaps = snapshot_nodes eng.root [] in
+  let pre_degraded = Limits.degraded eng.fuel in
+  let rollback () =
+    eng.db <- old_db;
+    restore_nodes snaps
+  in
+  try
+    let deltas = Update.effective old_db u in
+    eng.db <- Update.apply u old_db;
+    (match deltas with
+    | [] -> ()
+    | deltas ->
+      count_batch deltas;
+      Limits.spend eng.fuel ~what:"incremental: update batch";
+      Faultinj.hit "incr/batch";
+      ignore (repair eng ~old_db deltas eng.root));
+    if Limits.degraded eng.fuel <> pre_degraded then begin
+      rollback ();
+      Limits.fail_degraded eng.fuel
+    end;
+    eng.root.value
+  with e ->
+    rollback ();
+    raise e
 
 (* ------------------------------------------------------------------ *)
 (* Recursive definitions: maintain the [Rec_eval] solution resident.    *)
@@ -599,8 +644,30 @@ module Rec = struct
     eng.lows <- !m;
     eng.highs <- !m
 
-  let update eng u =
+  (* Same all-or-nothing contract as the plain engine above; the whole
+     mutable surface is three fields of immutable values. *)
+  let rec update eng u =
     Obs.span "incremental.rec_update" @@ fun () ->
+    let old_rdb = eng.rdb
+    and old_lows = eng.lows
+    and old_highs = eng.highs in
+    let pre_degraded = Limits.degraded eng.fuel in
+    let rollback () =
+      eng.rdb <- old_rdb;
+      eng.lows <- old_lows;
+      eng.highs <- old_highs
+    in
+    try
+      update_exn eng u;
+      if Limits.degraded eng.fuel <> pre_degraded then begin
+        rollback ();
+        Limits.fail_degraded eng.fuel
+      end
+    with e ->
+      rollback ();
+      raise e
+
+  and update_exn eng u =
     let deltas = Update.effective eng.rdb u in
     eng.rdb <- Update.apply u eng.rdb;
     match deltas with
@@ -608,6 +675,7 @@ module Rec = struct
     | deltas ->
       count_batch deltas;
       Limits.spend eng.fuel ~what:"incremental: update batch";
+      Faultinj.hit "incr/batch";
       let insert_only =
         List.for_all
           (fun (_, z) -> Zset.fold (fun _ w acc -> acc && w > 0) z true)

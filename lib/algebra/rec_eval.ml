@@ -108,6 +108,7 @@ let rec eval_vset builtins db lows highs fuel strategy join advice env e =
     let full s = recur ((x, s) :: env) body in
     let naive () =
       let rec iterate s =
+        Limits.check fuel ~what:"Rec_eval: IFP iteration";
         Limits.spend fuel ~what:"Rec_eval: IFP iteration";
         Obs.count "rec_eval/ifp_iter" 1;
         let s' = vset_union s (full s) in
@@ -124,12 +125,14 @@ let rec eval_vset builtins db lows highs fuel strategy join advice env e =
          variable; a difference's right argument is variable-free here,
          so its opposite bound is what gets subtracted — mirroring
          [low = a.low - b.high], [high = a.high - b.low]. *)
+      Limits.check fuel ~what:"Rec_eval: IFP iteration";
       Limits.spend fuel ~what:"Rec_eval: IFP iteration";
       Obs.count "rec_eval/ifp_iter" 1;
       let s0 = full (exact Value.empty_set) in
       let rec loop s d =
         if Delta.is_empty d.low && Delta.is_empty d.high then s
         else begin
+          Limits.check fuel ~what:"Rec_eval: IFP iteration";
           Limits.spend fuel ~what:"Rec_eval: IFP iteration";
           Obs.count "rec_eval/ifp_iter" 1;
           let derive proj opp dval =
@@ -198,6 +201,7 @@ let solve ?(fuel = Limits.default ()) ?window ?(strategy = Delta.Seminaive)
   let phase_lfp ~label ~eval_bounds ~project ~opposite =
     Obs.span label @@ fun () ->
     let rec iterate current deltas first =
+      Limits.check fuel ~what:"Rec_eval: phase iteration";
       Limits.spend fuel ~what:"Rec_eval: phase iteration";
       Obs.count "rec_eval/phase_iter" 1;
       let changed = ref false in
@@ -229,7 +233,14 @@ let solve ?(fuel = Limits.default ()) ?window ?(strategy = Delta.Seminaive)
     in
     iterate empty_map [] true
   in
+  (* The alternating fixpoint is not monotone round-to-round, so —
+     unlike {!Eval}'s IFP — a truncated run is not a sound
+     under-approximation and this engine never degrades: it finishes or
+     raises. Round boundaries still probe the governed budget and carry
+     the rec_eval/round chaos point. *)
   let rec outer lows_prev rounds =
+    Limits.check fuel ~what:"Rec_eval: outer round";
+    Faultinj.hit "rec_eval/round";
     Limits.spend fuel ~what:"Rec_eval: outer round";
     Obs.count "rec_eval/round" 1;
     let highs, lows =

@@ -22,6 +22,8 @@ module Tvl = Recalg_kernel.Tvl
 module Builtins = Recalg_kernel.Builtins
 module Limits = Recalg_kernel.Limits
 module Pool = Recalg_kernel.Pool
+module Faultinj = Recalg_kernel.Faultinj
+module Safe_io = Recalg_kernel.Safe_io
 module Zset = Recalg_kernel.Zset
 module Bitset = Recalg_kernel.Bitset
 module Interner = Recalg_kernel.Interner

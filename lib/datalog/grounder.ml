@@ -254,6 +254,8 @@ let delta_nonempty st =
 
 let close_seminaive st ordered =
   while delta_nonempty st do
+    Limits.check st.fuel ~what:"grounder: round";
+    Faultinj.hit "ground/round";
     Obs.count "ground/round" 1;
     List.iter
       (fun (r, body) ->
@@ -377,6 +379,60 @@ module Live = struct
   let edb t = t.edb
   let propgm t = propgm_of t.st
 
+  (* Checkpoints make update batches all-or-nothing. Everything the
+     batch mutates is either an immutable value behind a mutable field
+     ([edb], [ground_rules], the per-store [Tuples.t] sections) or
+     rebuildable from one of those ([seen_rules] from the rule list,
+     indexes lazily from the stores) — so a checkpoint is a handful of
+     pointer copies, and [restore] only pays the [seen_rules] rebuild on
+     the failure path. Interned atoms are deliberately not rolled back:
+     the interner only grows, and an atom heading no rule is invisible
+     to every semantics (see the module comment). *)
+  type checkpoint = {
+    cp_edb : Edb.t;
+    cp_rules : Propgm.rule list;
+    cp_stores : (string * (Tuples.t * Tuples.t * Tuples.t)) list;
+  }
+
+  let checkpoint t =
+    {
+      cp_edb = t.edb;
+      cp_rules = t.st.ground_rules;
+      cp_stores =
+        Hashtbl.fold
+          (fun pred s acc -> (pred, (s.full, s.delta, s.next)) :: acc)
+          t.st.stores [];
+    }
+
+  let restore t cp =
+    let st = t.st in
+    t.edb <- cp.cp_edb;
+    st.ground_rules <- cp.cp_rules;
+    Hashtbl.reset st.seen_rules;
+    List.iter
+      (fun (r : Propgm.rule) ->
+        Hashtbl.replace st.seen_rules
+          ( r.Propgm.head,
+            List.sort Int.compare (Array.to_list r.Propgm.pos),
+            List.sort Int.compare (Array.to_list r.Propgm.neg) )
+          ())
+      cp.cp_rules;
+    Hashtbl.iter
+      (fun pred s ->
+        (match List.assoc_opt pred cp.cp_stores with
+        | Some (full, delta, next) ->
+          s.full <- full;
+          s.delta <- delta;
+          s.next <- next
+        | None ->
+          (* Store created by the aborted batch: empty it; an all-empty
+             store is indistinguishable from an absent one. *)
+          s.full <- Tuples.empty;
+          s.delta <- Tuples.empty;
+          s.next <- Tuples.empty);
+        Hashtbl.reset s.indexes)
+      st.stores
+
   module Iset = Set.Make (Int)
 
   let rule_key (r : Propgm.rule) =
@@ -474,30 +530,40 @@ module Live = struct
         Hashtbl.reset s.indexes)
       st.stores
 
+  (* All-or-nothing: any exception mid-batch — fuel, a governed
+     ceiling, an injected fault — restores the pre-batch checkpoint
+     before re-raising, so the resident grounding never holds a
+     half-applied update. *)
   let update t u =
     Obs.span "ground.live_update" @@ fun () ->
-    let adds, dels = Edb.Update.effective t.edb u in
-    t.edb <- Edb.Update.apply u t.edb;
-    let n_adds = Edb.fold (fun _ _ n -> n + 1) adds 0
-    and n_dels = Edb.fold (fun _ _ n -> n + 1) dels 0 in
-    if n_adds + n_dels > 0 then begin
-      Obs.count "incr/ground_insertions" n_adds;
-      Obs.count "incr/ground_retractions" n_dels;
-      Limits.spend t.st.fuel ~what:"grounder: update batch";
-      if n_dels > 0 then retract t dels;
-      seed_axioms t.st adds;
-      promote t.st;
-      if n_dels > 0 then begin
-        (* Rederive: one unrestricted pass re-fires every rule against
-           the pruned envelope, resurrecting the conservatively
-           overdeleted instances noted above, before closing up. *)
-        List.iter
-          (fun (r, body) -> instantiate_rule t.st r body ~delta_pos:None)
-          t.ordered;
-        promote t.st
+    let cp = checkpoint t in
+    try
+      let adds, dels = Edb.Update.effective t.edb u in
+      t.edb <- Edb.Update.apply u t.edb;
+      let n_adds = Edb.fold (fun _ _ n -> n + 1) adds 0
+      and n_dels = Edb.fold (fun _ _ n -> n + 1) dels 0 in
+      if n_adds + n_dels > 0 then begin
+        Obs.count "incr/ground_insertions" n_adds;
+        Obs.count "incr/ground_retractions" n_dels;
+        Limits.spend t.st.fuel ~what:"grounder: update batch";
+        Faultinj.hit "incr/batch";
+        if n_dels > 0 then retract t dels;
+        seed_axioms t.st adds;
+        promote t.st;
+        if n_dels > 0 then begin
+          (* Rederive: one unrestricted pass re-fires every rule against
+             the pruned envelope, resurrecting the conservatively
+             overdeleted instances noted above, before closing up. *)
+          List.iter
+            (fun (r, body) -> instantiate_rule t.st r body ~delta_pos:None)
+            t.ordered;
+          promote t.st
+        end;
+        close_seminaive t.st t.ordered;
+        flush_probe_counters t.st
       end;
-      close_seminaive t.st t.ordered;
-      flush_probe_counters t.st
-    end;
-    propgm_of t.st
+      propgm_of t.st
+    with e ->
+      restore t cp;
+      raise e
 end

@@ -69,5 +69,20 @@ module Live : sig
   (** The current propositional program, for the semantics engines. *)
 
   val update : t -> Edb.Update.t -> Propgm.t
-  (** Apply a batch and return the repaired propositional program. *)
+  (** Apply a batch and return the repaired propositional program.
+
+      All-or-nothing: if anything raises mid-batch (fuel exhaustion, a
+      governed-budget ceiling, an injected fault), the resident state is
+      rolled back to the pre-batch checkpoint before the exception
+      propagates — the grounding never holds a half-applied update. *)
+
+  type checkpoint
+  (** A cheap (pointer-copy) snapshot of the resident state. *)
+
+  val checkpoint : t -> checkpoint
+
+  val restore : t -> checkpoint -> unit
+  (** Rewind to a checkpoint taken on this [t]. Used by {!update}
+      internally and by {!Run.Live} to also cover failures in the
+      solve phase that follows grounding. *)
 end

@@ -64,8 +64,7 @@ let overdelete t ~old_result ~dels =
   in
   loop dels dels
 
-let update t u =
-  Obs.span "incremental.datalog_update" @@ fun () ->
+let update_exn t u =
   let adds, dels = Edb.Update.effective t.edb u in
   let new_edb = Edb.Update.apply u t.edb in
   t.edb <- new_edb;
@@ -76,6 +75,7 @@ let update t u =
     Obs.count "incr/insertions" n_adds;
     Obs.count "incr/retractions" n_dels;
     Limits.spend t.fuel ~what:"incremental: update batch";
+    Faultinj.hit "incr/batch";
     let rules = t.program.Program.rules in
     let result =
       if not t.negation_free then begin
@@ -115,3 +115,29 @@ let update t u =
     t.result <- result;
     result
   end
+
+(* All-or-nothing: [t] mutates exactly two fields, both holding
+   immutable values, so the pre-batch state is a two-pointer snapshot.
+   Any exception mid-batch (fuel, a governed ceiling, an injected
+   fault) restores it before re-raising — and a degradation latched by
+   an inner engine is promoted back to an abort, because silently
+   storing an under-approximated materialization would poison every
+   later update. *)
+let update t u =
+  Obs.span "incremental.datalog_update" @@ fun () ->
+  let old_edb = t.edb and old_result = t.result in
+  let pre_degraded = Limits.degraded t.fuel in
+  let rollback () =
+    t.edb <- old_edb;
+    t.result <- old_result
+  in
+  try
+    let r = update_exn t u in
+    if Limits.degraded t.fuel <> pre_degraded then begin
+      rollback ();
+      Limits.fail_degraded t.fuel
+    end;
+    r
+  with e ->
+    rollback ();
+    raise e

@@ -47,11 +47,20 @@ module Live = struct
   let interp t = t.interp
   let edb t = Grounder.Live.edb t.ground
 
+  (* [Grounder.Live.update] rolls itself back on its own failures, but
+     the solve phase runs after the grounding committed — the outer
+     checkpoint also rewinds the grounder when solving fails, so [t]
+     always holds a matching (edb, grounding, interpretation) triple. *)
   let update t u =
     Obs.span "run.live_update" @@ fun () ->
-    let pg = Grounder.Live.update t.ground u in
-    t.interp <- solve t.semantics pg;
-    t.interp
+    let cp = Grounder.Live.checkpoint t.ground in
+    try
+      let pg = Grounder.Live.update t.ground u in
+      t.interp <- solve t.semantics pg;
+      t.interp
+    with e ->
+      Grounder.Live.restore t.ground cp;
+      raise e
 end
 
 let with_obs sink f =

@@ -205,8 +205,15 @@ let eval_loop ~variant ~first ~fuel ~order program ~base ~stores ~derived rules 
   let derived_this_round () =
     Hashtbl.fold (fun _ s acc -> acc + Tuples.cardinal s.next) stores 0
   in
-  Obs.count "seminaive/round" 1;
-  (match first with
+  (* Under a [~degrade:true] budget, exhaustion anywhere in the loop is
+     caught at this level: the facts derived so far (including the
+     not-yet-promoted current round) are a sound under-approximation of
+     the monotone fixpoint, returned with the budget latched as
+     degraded. Injected faults and other exceptions propagate. *)
+  (try
+     Obs.count "seminaive/round" 1;
+     Faultinj.hit "seminaive/round";
+     (match first with
   | `Full ->
     derive_all lookup (List.map (fun (r, body) -> (r, body, None)) ordered)
   | `Adds adds ->
@@ -243,11 +250,13 @@ let eval_loop ~variant ~first ~fuel ~order program ~base ~stores ~derived rules 
         ordered
     in
     derive_all seed_lookup tasks);
-  Obs.countf "seminaive/derived" derived_this_round;
-  promote ();
-  while delta_nonempty () do
-    Obs.count "seminaive/round" 1;
-    (match variant with
+     Obs.countf "seminaive/derived" derived_this_round;
+     promote ();
+     while delta_nonempty () do
+       Limits.check fuel ~what:"seminaive: round";
+       Faultinj.hit "seminaive/round";
+       Obs.count "seminaive/round" 1;
+       (match variant with
     | `Naive ->
       (* Full re-evaluation: recompute everything from the whole store. *)
       derive_all lookup (List.map (fun (r, body) -> (r, body, None)) ordered)
@@ -268,11 +277,16 @@ let eval_loop ~variant ~first ~fuel ~order program ~base ~stores ~derived rules 
           ordered
       in
       derive_all lookup tasks);
-    Obs.countf "seminaive/derived" derived_this_round;
-    promote ()
-  done;
+       Obs.countf "seminaive/derived" derived_this_round;
+       promote ()
+     done
+   with e when Limits.degradable fuel e -> Limits.latch fuel e);
+  (* Normally [delta]/[next] are empty here; after a degraded cut they
+     hold the in-flight facts, all of which are genuinely derived. *)
   Hashtbl.fold
-    (fun pred s acc -> Edb.add_all pred (Tuples.elements s.full) acc)
+    (fun pred s acc ->
+      let all = Tuples.union s.full (Tuples.union s.delta s.next) in
+      Edb.add_all pred (Tuples.elements all) acc)
     stores Edb.empty
 
 let run ~variant ?(fuel = Limits.default ()) ?(order = `Syntactic) program
@@ -395,4 +409,20 @@ let stratified ?fuel ?order program edb =
           let results = Pool.map (fun comp -> eval_rules base comp) comps in
           List.fold_left Edb.union base results
       in
-      Ok (List.fold_left eval_group edb groups))
+      (* Degradation stops at the stratum that ran out: its facts are a
+         sound under-approximation, but evaluating *later* strata
+         against it would be unsound (a missing fact could satisfy a
+         negative literal), so they are skipped entirely — every
+         reported fact remains true, the result just stops early. *)
+      let degraded_now () =
+        match fuel with
+        | Some f -> Limits.degraded f <> None
+        | None -> false
+      in
+      let rec fold_groups base = function
+        | [] -> base
+        | g :: rest ->
+          let base' = eval_group base g in
+          if degraded_now () then base' else fold_groups base' rest
+      in
+      Ok (fold_groups edb groups))

@@ -1,0 +1,107 @@
+(* Deterministic fault injection for chaos testing.
+
+   The library is dormant by default: [hit] is a single [bool ref] load
+   until a test (or the RECALG_FAULTS environment variable) arms a
+   site. When armed, the nth visit to the named site raises {!Injected}
+   — deterministically, because every engine visits its sites in a
+   reproducible order for a given input (the same property the
+   byte-identical-results QCheck suites rely on).
+
+   Sites are identified by short path-like strings ("eval/round",
+   "io/write", ...). [sites] is the registry the chaos suite sweeps and
+   DESIGN.md documents; [hit] accepts any string so adding a site is a
+   one-line change at the call point plus a registry entry. *)
+
+exception Injected of { site : string; hit : int }
+
+let () =
+  Printexc.register_printer (function
+    | Injected { site; hit } ->
+      Some (Printf.sprintf "Faultinj.Injected(%s, hit %d)" site hit)
+    | _ -> None)
+
+let sites =
+  [
+    "value/intern";
+    "pool/task";
+    "ground/round";
+    "eval/round";
+    "rec_eval/round";
+    "seminaive/round";
+    "incr/batch";
+    "io/write";
+  ]
+
+type plan = { after : int; mutable count : int }
+
+(* All state is guarded by [lock]: [hit] can fire from pool worker
+   domains. The unarmed fast path takes no lock — [armed] is only
+   flipped under the lock, and chaos tests arm/disarm from the main
+   domain between (not during) parallel sections. *)
+let lock = Mutex.create ()
+let armed = ref false
+let plans : (string, plan) Hashtbl.t = Hashtbl.create 8
+
+let disarm () =
+  Mutex.lock lock;
+  Hashtbl.reset plans;
+  armed := false;
+  Mutex.unlock lock
+
+let arm ~site ~after =
+  if after < 0 then invalid_arg "Faultinj.arm: after must be >= 0";
+  Mutex.lock lock;
+  Hashtbl.replace plans site { after; count = 0 };
+  armed := true;
+  Mutex.unlock lock
+
+let is_armed () = !armed
+
+let hits site =
+  Mutex.lock lock;
+  let n = match Hashtbl.find_opt plans site with
+    | Some p -> p.count
+    | None -> 0
+  in
+  Mutex.unlock lock;
+  n
+
+let hit site =
+  if !armed then begin
+    Mutex.lock lock;
+    let fire =
+      match Hashtbl.find_opt plans site with
+      | None -> None
+      | Some p ->
+        p.count <- p.count + 1;
+        if p.count > p.after then Some p.count else None
+    in
+    Mutex.unlock lock;
+    match fire with
+    | Some n -> raise (Injected { site; hit = n })
+    | None -> ()
+  end
+
+(* RECALG_FAULTS="site:after[,site:after...]" arms sites at program
+   start, so the CLI and benches can be chaos-tested from the outside
+   without new flags. Malformed entries are ignored rather than fatal —
+   a chaos harness must not itself crash the process it probes. *)
+let from_env () =
+  match Sys.getenv_opt "RECALG_FAULTS" with
+  | None | Some "" -> ()
+  | Some spec ->
+    String.split_on_char ',' spec
+    |> List.iter (fun entry ->
+        match String.rindex_opt entry ':' with
+        | None -> ()
+        | Some i ->
+          let site = String.sub entry 0 i in
+          let after =
+            int_of_string_opt
+              (String.sub entry (i + 1) (String.length entry - i - 1))
+          in
+          (match after with
+           | Some a when a >= 0 && site <> "" -> arm ~site ~after:a
+           | _ -> ()))
+
+let () = from_env ()

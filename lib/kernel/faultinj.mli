@@ -1,0 +1,46 @@
+(** Deterministic fault injection for chaos testing.
+
+    Engines call {!hit} at named injection points ("eval/round",
+    "io/write", ...). Dormant — a single flag load — unless a site has
+    been armed with {!arm} (or via the [RECALG_FAULTS] environment
+    variable, parsed at program start), in which case the visit after
+    the configured skip count raises {!Injected}.
+
+    Because every engine visits its sites in a reproducible order for a
+    given input, [(site, after)] fully determines where the fault lands:
+    chaos runs are replayable from their seed. *)
+
+exception Injected of { site : string; hit : int }
+(** The injected failure: [site] names the injection point, [hit] is
+    the 1-based visit count at which it fired. Deliberately distinct
+    from every engine exception so tests can assert that faults
+    propagate unmasked. *)
+
+val sites : string list
+(** The registered injection points, the registry swept by the chaos
+    suite: value/intern, pool/task, ground/round, eval/round,
+    rec_eval/round, seminaive/round, incr/batch, io/write. *)
+
+val arm : site:string -> after:int -> unit
+(** Arm [site]: the [(after + 1)]-th {!hit} on it raises {!Injected}.
+    Re-arming a site resets its visit count. Raises [Invalid_argument]
+    if [after < 0]. *)
+
+val disarm : unit -> unit
+(** Disarm all sites and reset counters; {!hit} returns to its
+    single-load fast path. *)
+
+val is_armed : unit -> bool
+
+val hit : string -> unit
+(** Visit an injection point. No-op (one flag load) unless armed. *)
+
+val hits : string -> int
+(** Visits observed on [site] since it was last armed (0 if never
+    armed) — lets tests confirm a sweep actually reached a site. *)
+
+val from_env : unit -> unit
+(** Parse [RECALG_FAULTS] ("site:after[,site:after...]") and arm the
+    listed sites. Called automatically at program start; exposed so
+    tests can re-trigger it after mutating the environment. Malformed
+    entries are ignored. *)

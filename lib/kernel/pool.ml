@@ -102,9 +102,20 @@ let run thunks =
        lock's release/acquire pairs order every task's write before the
        submitter's reads below (the OCaml memory model's happens-before
        through mutexes). *)
+    (* Each task starts by probing the ambient budget (deadline /
+       cancellation / memory) and the pool/task fault point, so a
+       cancelled batch fails fast: already-queued tasks each raise at
+       entry instead of running to completion, and the lowest-indexed
+       structured error is what the submitter re-raises. Failures stay
+       inside [Error] — workers survive, the queue drains, and the pool
+       is immediately reusable. *)
     let wrap i f () =
       let r =
-        try Ok (f ()) with e -> Error (e, Printexc.get_raw_backtrace ())
+        try
+          Limits.check_active ~what:"pool task";
+          Faultinj.hit "pool/task";
+          Ok (f ())
+        with e -> Error (e, Printexc.get_raw_backtrace ())
       in
       Mutex.lock lock;
       results.(i) <- Some r;

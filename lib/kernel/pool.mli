@@ -17,7 +17,17 @@
     (canonical-set merges, or parallel derivation with sequential
     commit — see DESIGN.md §9). If several tasks raise, the exception
     of the earliest task (lowest index) is re-raised, so failure is as
-    deterministic as success. *)
+    deterministic as success.
+
+    Failure containment contract (see DESIGN.md §11): a task that
+    raises — including a [Faultinj.Injected] fault or a
+    [Limits.Resource_exhausted] abort — never poisons the pool. The
+    remaining tasks of the batch run (or fail fast at their own
+    ambient-budget probe, for cancellation), the workers return to the
+    queue, and the very next {!run} behaves normally. Every task probes
+    [Limits.check_active] on entry, which is how join partitions and
+    parallel rounds honor deadlines and cancellation without threading
+    a budget through their signatures. *)
 
 val set_domains : int -> unit
 (** Resize the pool to [n] total domains ([n - 1] workers plus the

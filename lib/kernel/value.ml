@@ -198,6 +198,10 @@ let intern shard n h =
 
 let make n =
   if !enabled then begin
+    (* Chaos probe sits before the shard lock on purpose: an injected
+       intern fault must propagate with every mutex released, so a
+       faulted parallel run can keep interning afterwards. *)
+    Faultinj.hit "value/intern";
     let h = node_hash n in
     let shard = shards.(h land (shard_count - 1)) in
     if Pool.parallel () then begin

@@ -129,10 +129,10 @@ let merge older newer = Smap.union (fun _ _ newer -> Some newer) older newer
 let magic = "recalg-stats 1"
 
 let save path t =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  (* tmp + rename: a crash (or injected fault) mid-save leaves any
+     previous stats file intact, so the next load never sees a torn
+     write of its own making. *)
+  Safe_io.write_file path (fun oc ->
       output_string oc (magic ^ "\n");
       Smap.iter
         (fun name r ->
@@ -156,6 +156,12 @@ let parse_line line =
         distinct = List.map parse_col cols } )
   | _ -> failwith "bad stats line"
 
+(* A missing file is the normal cold-start case and stays silent; a
+   file that exists but cannot be parsed (corrupt, truncated, foreign)
+   is worth a warning — the caller proceeds statless either way. *)
+let warn_corrupt path reason =
+  Fmt.epr "warning: ignoring stats file %s: %s@." path reason
+
 let load path =
   match open_in path with
   | exception Sys_error _ -> None
@@ -164,8 +170,13 @@ let load path =
       ~finally:(fun () -> close_in ic)
       (fun () ->
         match input_line ic with
-        | exception End_of_file -> None
-        | first when not (String.equal (String.trim first) magic) -> None
+        | exception End_of_file ->
+          warn_corrupt path "empty file";
+          None
+        | first when not (String.equal (String.trim first) magic) ->
+          warn_corrupt path
+            (Printf.sprintf "bad header (expected %S)" magic);
+          None
         | _ -> (
           let rec go acc =
             match input_line ic with
@@ -173,7 +184,9 @@ let load path =
             | "" -> go acc
             | line -> (
               match parse_line line with
-              | exception _ -> None
+              | exception _ ->
+                warn_corrupt path "corrupt or truncated entry";
+                None
               | name, r -> go (Smap.add name r acc))
           in
           go empty))

@@ -66,8 +66,12 @@ val merge : t -> t -> t
 (** [merge older newer]: entries of [newer] win. *)
 
 val save : string -> t -> unit
+(** Persist atomically (tmp + rename via {!Recalg_kernel.Safe_io}): a
+    crash mid-save leaves any previous file intact. *)
+
 val load : string -> t option
 (** [None] on a missing file, a version mismatch, or any parse error —
-    stale or foreign files degrade to "no stats", never to a crash. *)
+    stale or foreign files degrade to "no stats", never to a crash. A
+    missing file is silent; a corrupt/truncated one warns on stderr. *)
 
 val pp : Format.formatter -> t -> unit

@@ -204,7 +204,36 @@ let compile_rule builtins ~uncertain resolve (r : Rule.t) =
   | Error msg -> raise (Untranslatable msg)
   | Ok ordered ->
     let unit_env = { vars = []; expr = Expr.lit [ Value.tuple [] ] } in
-    let env = List.fold_left (compile_literal builtins resolve) unit_env ordered in
+    (* A run of consecutive negative literals subtracts match sets all
+       computed against the environment at the start of the run, not the
+       progressively diffed one. The match operator is pointwise in the
+       environment tuple, so under two-valued semantics the nested form
+       [(env - m1) - m2(env - m1)] and the flat form [(env - m1(env)) -
+       m2(env)] coincide — but under the three-valued bounds the nested
+       form evaluates [m2]'s certain side against [low (env - m1)],
+       which an *unknown* first literal empties, hiding certain matches
+       of the second. The flat form keeps each literal's certain matches
+       visible, matching the fact-level valid semantics that judges body
+       literals independently. *)
+    let rec compile env lits =
+      match lits with
+      | [] -> env
+      | Literal.Neg _ :: _ ->
+        let rec split acc = function
+          | Literal.Neg a :: rest -> split (a :: acc) rest
+          | rest -> (List.rev acc, rest)
+        in
+        let negs, rest = split [] lits in
+        let expr =
+          List.fold_left
+            (fun acc a ->
+              Expr.diff acc (matching_envs builtins env (resolve a.Literal.pred) a))
+            env.expr negs
+        in
+        compile { env with expr } rest
+      | l :: rest -> compile (compile_literal builtins resolve env l) rest
+    in
+    let env = compile unit_env ordered in
     let lookup x = path_in env x in
     let head_fun =
       Efun.Tuple_of (List.map (efun_of_term builtins lookup) r.Rule.head.Literal.args)

@@ -37,7 +37,8 @@ let verbs = [ "run"; "alg"; "query"; "update"; "check"; "translate" ]
 
 let shared_flags =
   [ "--fuel"; "--trace"; "--profile"; "--stats"; "--domains"; "--plan";
-    "--par-threshold"; "--stats-file" ]
+    "--par-threshold"; "--stats-file"; "--timeout"; "--memory-limit";
+    "--degrade" ]
 
 let test_parity () =
   match find_exe () with
@@ -53,4 +54,35 @@ let test_parity () =
           shared_flags)
       verbs
 
-let suite = [ Alcotest.test_case "all verbs share --fuel/--trace/--profile" `Quick test_parity ]
+(* The documented exit-code contract, end to end: a divergent program
+   (Peano) under a huge fuel budget but a short deadline exits 4; under
+   a small fuel budget it exits 3. [Sys.command] returns the exit code
+   directly. *)
+let test_exit_codes () =
+  match find_exe () with
+  | None -> Alcotest.skip ()
+  | Some exe ->
+    let dl = Filename.temp_file "recalg_diverge" ".dl" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove dl with Sys_error _ -> ())
+      (fun () ->
+        let oc = open_out dl in
+        output_string oc "p(z). p(s(X)) :- p(X).\n";
+        close_out oc;
+        let run args =
+          Sys.command
+            (Printf.sprintf "%s run %s %s >/dev/null 2>&1" (Filename.quote exe)
+               (Filename.quote dl) args)
+        in
+        Alcotest.(check int) "deadline exits 4" 4
+          (run "--fuel 1000000000 --timeout 100");
+        Alcotest.(check int) "fuel exits 3" 3 (run "--fuel 1000");
+        Alcotest.(check int) "degraded run reports the exhausted resource" 3
+          (run "--fuel 1000 --degrade"))
+
+let suite =
+  [
+    Alcotest.test_case "all verbs share --fuel/--trace/--profile" `Quick
+      test_parity;
+    Alcotest.test_case "resource exhaustion exit codes" `Quick test_exit_codes;
+  ]

@@ -316,6 +316,86 @@ let prop_traced_equals_untraced_parallel =
       | Error `Diverged, Error `Diverged -> true
       | _ -> false)
 
+(* --- Failure containment (DESIGN.md Â§11): a raising or cancelled
+   task must leave the pool reusable, the intern shards unlocked, and
+   a shared fuel budget exactly accounted. --- *)
+
+let test_pool_task_fault_recovery () =
+  with_domains 4 @@ fun () ->
+  Faultinj.arm ~site:"pool/task" ~after:2;
+  (match
+     Pool.run
+       (List.init 8 (fun i () -> Value.cstr "chaos_par" [ Value.int i ]))
+   with
+  | _ -> Alcotest.fail "expected Injected"
+  | exception Faultinj.Injected { site; _ } ->
+    Alcotest.(check string) "the armed site fired" "pool/task" site);
+  Faultinj.disarm ();
+  (* The pool survives and is reusableâ¦ *)
+  Alcotest.(check (list int)) "pool alive after injected task" [ 2; 3; 4 ]
+    (Pool.map (fun x -> x + 1) [ 1; 2; 3 ]);
+  (* â¦and the intern shards were not left locked: fresh interning on
+     every domain still converges to shared nodes. *)
+  let build () =
+    List.init 50 (fun i -> Value.cstr "chaos_par_fresh" [ Value.int i ])
+  in
+  let results = Pool.run (List.init 8 (fun _ -> build)) in
+  let reference = build () in
+  List.iter
+    (fun vs -> List.iter2 (fun a b -> assert (a == b)) vs reference)
+    results
+
+let test_pool_intern_fault_recovery () =
+  (* The fault fires *inside* [Value.make] on a worker domain â before
+     the shard lock is taken, so nothing can be left held. *)
+  with_domains 4 @@ fun () ->
+  Faultinj.arm ~site:"value/intern" ~after:40;
+  (match
+     Pool.run
+       (List.init 8 (fun t () ->
+            List.init 50 (fun i ->
+                Value.cstr "chaos_par_intern" [ Value.int ((100 * t) + i) ])))
+   with
+  | _ -> () (* armed count may exceed the batch's builds on fast paths *)
+  | exception Faultinj.Injected _ -> ());
+  Faultinj.disarm ();
+  let v = Value.cstr "chaos_par_intern" [ Value.int 0 ] in
+  Alcotest.(check bool) "interner functional after fault" true
+    (v == Value.cstr "chaos_par_intern" [ Value.int 0 ])
+
+let test_pool_fuel_exactly_restored () =
+  (* Eight tasks race a 100-step budget: every failed spend restores
+     its decrement before raising, so after the batch fails the count
+     is exactly zero â not negative, not short. *)
+  with_domains 4 @@ fun () ->
+  let fuel = Limits.of_int 100 in
+  let task () =
+    for _ = 1 to 1_000 do
+      Limits.spend fuel ~what:"parallel chaos"
+    done
+  in
+  (match Pool.run (List.init 8 (fun _ -> task)) with
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+  | exception Limits.Diverged _ -> ());
+  Alcotest.(check (option int)) "fuel restored to exactly zero" (Some 0)
+    (Limits.remaining fuel);
+  Alcotest.(check (list int)) "pool alive after exhaustion" [ 1; 2; 3 ]
+    (Pool.map Fun.id [ 1; 2; 3 ])
+
+let test_pool_cancellation () =
+  with_domains 4 @@ fun () ->
+  let tok = Limits.cancel_token () in
+  let fuel = Limits.governed ~cancel:tok () in
+  Limits.cancel tok;
+  Limits.with_active fuel (fun () ->
+      match Pool.run (List.init 4 (fun i () -> i)) with
+      | _ -> Alcotest.fail "expected cancellation"
+      | exception Limits.Resource_exhausted { kind = Limits.Cancelled; _ } ->
+        ());
+  (* Outside the ambient budget the pool serves again. *)
+  Alcotest.(check (list int)) "pool alive after cancellation" [ 0; 1; 2; 3 ]
+    (Pool.map Fun.id [ 0; 1; 2; 3 ])
+
 let suite =
   [
     Alcotest.test_case "pool map preserves order" `Quick test_pool_map_order;
@@ -333,4 +413,12 @@ let suite =
     QCheck_alcotest.to_alcotest prop_grounder_domains;
     QCheck_alcotest.to_alcotest prop_translate_eval_all_domains;
     QCheck_alcotest.to_alcotest prop_traced_equals_untraced_parallel;
+    Alcotest.test_case "injected task leaves the pool reusable" `Quick
+      test_pool_task_fault_recovery;
+    Alcotest.test_case "injected intern leaves shards unlocked" `Quick
+      test_pool_intern_fault_recovery;
+    Alcotest.test_case "parallel exhaustion restores fuel exactly" `Quick
+      test_pool_fuel_exactly_restored;
+    Alcotest.test_case "cancellation drains the pool cleanly" `Quick
+      test_pool_cancellation;
   ]

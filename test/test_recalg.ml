@@ -18,5 +18,6 @@ let () =
       ("obs", Test_obs.suite);
       ("plan", Test_plan.suite);
       ("parallel", Test_parallel.suite);
+      ("chaos", Test_chaos.suite);
       ("parameterized", Test_parameterized.suite);
     ]

@@ -209,6 +209,24 @@ let test_p61_edb_and_idb_same_pred () =
   in
   Alcotest.(check bool) "mixed pred" true (agree_on program edb tr sol "t")
 
+let test_p61_consecutive_negatives () =
+  (* Regression: two negative literals in one body used to compile as
+     nested diffs, so the second literal's certain matches were judged
+     against the already-diffed environment — whose certain bound an
+     *unknown* first literal empties. Here r(a,c) is certainly true,
+     which must make q(c) certainly false and hence p(a) certainly
+     true; the nested form left both unknown forever. *)
+  let program, edb, tr, sol =
+    run_p61
+      "e(c,a). p(X) :- e(Y,X), not q(Y). q(X) :- e(X,Y), not p(Y), not \
+       r(Y,X). r(X,Y) :- e(Y,X), not p(Y)."
+  in
+  List.iter
+    (fun pred ->
+      Alcotest.(check bool) (pred ^ " agrees") true
+        (agree_on program edb tr sol pred))
+    [ "p"; "q"; "r" ]
+
 let test_p61_unsafe_rejected () =
   let program, edb = Datalog.Parser.parse_exn "p(X) :- not q(X)." in
   Alcotest.(check bool) "raises" true
@@ -349,6 +367,8 @@ let suite =
     Alcotest.test_case "P6.1 constructor terms" `Quick test_p61_constructor_terms;
     Alcotest.test_case "P6.1 disequality" `Quick test_p61_neq;
     Alcotest.test_case "P6.1 EDB+IDB predicate" `Quick test_p61_edb_and_idb_same_pred;
+    Alcotest.test_case "P6.1 consecutive negatives" `Quick
+      test_p61_consecutive_negatives;
     Alcotest.test_case "P6.1 unsafe rejected" `Quick test_p61_unsafe_rejected;
     Alcotest.test_case "T3.5 transitive closure" `Quick test_t35_tc;
     Alcotest.test_case "T3.5 non-monotone IFP" `Quick test_t35_nonmonotone;
