@@ -110,8 +110,56 @@ def check_e15(records, max_overhead=None):
                  f"{r['overhead_ratio']:.3f}x exceeds {max_overhead}x")
 
 
+def check_e16(records, max_overhead=None):
+    """Retained metrics: collection observes without steering, and the
+    feedback loop pays for itself.  Overhead rows must agree in result
+    and fuel with collection off (the ratio is gated only when a
+    threshold is passed: strict 1.03 against the committed record,
+    lenient against a fresh run on a shared runner).  The drift row must
+    show live re-planning actually firing — and, when the strict
+    threshold is in force, beating the stale plan.
+    """
+    overhead_rows = [r for r in records if "overhead_ratio" in r]
+    drift_rows = [r for r in records if "speedup" in r]
+    assert overhead_rows, "no metrics-overhead records"
+    assert drift_rows, "no drifting-cardinality records"
+    for i, r in enumerate(overhead_rows):
+        require(r, i, ("workload", "off_ms", "on_ms", "overhead_ratio",
+                       "agree", "fuel_identical", "metrics"))
+        assert r["agree"] is True, f"record {i}: collected result diverged"
+        assert r["fuel_identical"] is True, \
+            f"record {i}: collected run spent different fuel"
+        assert r["overhead_ratio"] > 0, f"record {i}: bogus overhead ratio"
+        metrics = r["metrics"]
+        assert isinstance(metrics, dict) and metrics, \
+            f"record {i}: empty metrics block"
+        for span, row in metrics.items():
+            for key in ("calls", "wall_ms", "fuel", "p50_ms", "p99_ms"):
+                assert key in row, f"record {i} span {span!r} missing {key!r}"
+        if max_overhead is not None:
+            assert r["overhead_ratio"] <= max_overhead, \
+                (f"record {i} ({r['workload']}): metrics overhead "
+                 f"{r['overhead_ratio']:.3f}x exceeds {max_overhead}x")
+    for i, r in enumerate(drift_rows):
+        require(r, i, ("workload", "stale_ms", "live_ms", "speedup",
+                       "drift_events", "replans", "agree"))
+        assert r["agree"] is True, \
+            f"drift record {i}: live re-planned result diverged"
+        assert r["drift_events"] >= 1, \
+            f"drift record {i}: no cardinality drift was observed"
+        assert r["replans"] >= 1, \
+            f"drift record {i}: drift observed but nothing re-planned"
+        if max_overhead is not None and max_overhead <= 1.1:
+            # Strict mode (the committed record): live must actually win.
+            assert r["speedup"] >= 1.2, \
+                (f"drift record {i}: live re-planning speedup "
+                 f"{r['speedup']:.2f}x under 1.2x")
+
+
 CHECKS = {"e12": check_e12, "e13": check_e13, "e14": check_e14,
-          "e15": check_e15}
+          "e15": check_e15, "e16": check_e16}
+
+THRESHOLDED = ("e15", "e16")
 
 
 def main():
@@ -124,7 +172,8 @@ def main():
         records = json.load(fh)
     assert records, f"no {experiment} records"
     if len(sys.argv) == 4:
-        assert experiment == "e15", "a threshold only applies to e15"
+        assert experiment in THRESHOLDED, \
+            f"a threshold only applies to {'/'.join(THRESHOLDED)}"
         CHECKS[experiment](records, float(sys.argv[3]))
     else:
         CHECKS[experiment](records)

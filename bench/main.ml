@@ -1041,11 +1041,210 @@ let e15 () =
   run (Fmt.str "sg-tree-%d" sn) (fun fuel ->
       Value.hash (Algebra.Eval.eval ~fuel no_defs sg_db W.sg_ifp))
 
+(* ------------------------------------------------------------------ *)
+(* E16 — retained metrics: collection overhead and live re-planning.   *)
+
+(* Two halves of the metrics contract (DESIGN.md #12). (a) The registry
+   observes without steering: collection on must cost under 3% against
+   collection off on the E15 workloads, with byte-identical results and
+   fuel. (b) The registry's feedback loop pays for itself: on a
+   fixpoint whose bound relation outgrows the planner's default
+   estimate, mid-fixpoint re-planning from observed cardinalities beats
+   the stale plan. [check_records.py e16] re-checks the committed
+   record against both thresholds. *)
+let e16 () =
+  U.hr "E16: retained-metrics overhead (off vs on) and live re-planning";
+  U.row "%-16s %10s %12s %10s %7s %6s@." "workload" "off ms" "on ms" "overhead"
+    "agree" "fuel=";
+  let fuel_units = 1_000_000_000 in
+  let fresh () = Limits.of_int fuel_units in
+  let runs = if U.is_smoke () then 3 else 11 in
+  Obs.Metrics.set_collecting false;
+  Obs.Metrics.reset ();
+  let overhead_run name (eval : Limits.fuel -> int) =
+    (* Warm both paths once (interner, minor heap, shard tables). *)
+    ignore (eval (fresh ()));
+    Obs.Metrics.with_collecting (fun () -> ignore (eval (fresh ())));
+    let off_ms, on_ms, overhead, off_fp, on_fp =
+      U.time_pair_ms ~runs
+        (fun () -> eval (fresh ()))
+        (fun () -> Obs.Metrics.with_collecting (fun () -> eval (fresh ())))
+    in
+    let spent collect =
+      let fuel = fresh () in
+      if collect then Obs.Metrics.with_collecting (fun () -> ignore (eval fuel))
+      else ignore (eval fuel);
+      Limits.remaining fuel
+    in
+    let agree = off_fp = on_fp in
+    let fuel_identical = spent false = spent true in
+    assert agree;
+    assert fuel_identical;
+    (* The record's metrics block: one fresh collected run, top three
+       phases by attributed wall time. The active budget is installed
+       (as the CLI driver does) so per-phase fuel attribution is real. *)
+    Obs.Metrics.reset ();
+    Obs.Metrics.with_collecting (fun () ->
+        let fuel = fresh () in
+        Limits.with_active fuel (fun () -> ignore (eval fuel)));
+    let sn = Obs.Metrics.snapshot () in
+    let top_spans =
+      Obs.Metrics.fold_spans
+        (fun path ~calls ~wall_ms ~fuel ~alloc_words acc ->
+          (path, calls, wall_ms, fuel, alloc_words) :: acc)
+        sn []
+      |> List.sort (fun (_, _, a, _, _) (_, _, b, _, _) -> Float.compare b a)
+      |> List.filteri (fun i _ -> i < 3)
+    in
+    let metrics_block =
+      U.O
+        (List.map
+           (fun (path, calls, wall_ms, fuel, alloc_w) ->
+             ( path,
+               U.O
+                 [ ("calls", U.I calls);
+                   ("wall_ms", U.F wall_ms);
+                   ("fuel", U.I fuel);
+                   ("alloc_words", U.F alloc_w);
+                   ("p50_ms", U.F (Obs.Metrics.span_quantile_ms sn path 0.5));
+                   ("p99_ms", U.F (Obs.Metrics.span_quantile_ms sn path 0.99))
+                 ] ))
+           top_spans)
+    in
+    Obs.Metrics.reset ();
+    U.row "%-16s %10.2f %12.2f %9.3fx %7b %6b@." name off_ms on_ms overhead
+      agree fuel_identical;
+    U.record
+      [ ("experiment", U.S "e16");
+        ("workload", U.S name);
+        ("off_ms", U.F off_ms);
+        ("on_ms", U.F on_ms);
+        ("overhead_ratio", U.F overhead);
+        ("agree", U.B agree);
+        ("fuel_identical", U.B fuel_identical);
+        ("metrics", metrics_block) ]
+  in
+  (* No smoke shrink for the win graph: below ~1ms the per-span cost of
+     collection is measurable against near-zero work and the overhead
+     ratio stops meaning anything. The full size is already trivial. *)
+  let wn = 150 in
+  let win_edb =
+    W.edb_of ~pred:"move" (W.random_graph ~nodes:wn ~edges:(2 * wn) ~seed:7)
+  in
+  overhead_run (Fmt.str "valid-win-%d" wn) (fun fuel ->
+      let interp = Datalog.Run.valid ~fuel W.win_program win_edb in
+      List.length (Datalog.Interp.true_tuples interp "win"));
+  let no_defs = Algebra.Defs.make [] in
+  let cn = if U.is_smoke () then 64 else 256 in
+  let tc_db = W.db_of ~rel:"edge" (W.chain cn) in
+  overhead_run (Fmt.str "tc-chain-%d" cn) (fun fuel ->
+      Value.hash (Algebra.Eval.eval ~fuel no_defs tc_db W.tc_ifp));
+  (* Larger than E15's trees at both tiers: sub-5ms sizes sit at the
+     noise floor of a per-mille overhead measurement. *)
+  let sn = if U.is_smoke () then 63 else 127 in
+  let sg_db = W.db_of ~rel:"edge" (W.tree sn) in
+  overhead_run (Fmt.str "sg-tree-%d" sn) (fun fuel ->
+      Value.hash (Algebra.Eval.eval ~fuel no_defs sg_db W.sg_ifp));
+  (* (b) Drifting cardinality. TC over a chain, with a decoy region
+     riding in the fixpoint body: x joins a tiny relation [t] (no equi
+     edge — a cross product, but small while x is believed small) and a
+     wide low-key relation [b]. Against the default bound-card estimate
+     the greedy planner starts the region with the x*t cross product;
+     once x outgrows the estimate, the refreshed plan starts with the
+     selective t-b join instead. Both plans return the same (empty)
+     decoy contribution — only the per-round enumeration cost moves. *)
+  U.hr "E16b: live re-planning vs stale plan on drifting cardinality";
+  U.row "%-16s %10s %10s %9s %6s %6s %7s@." "workload" "stale ms" "live ms"
+    "speedup" "drift" "replan" "agree";
+  let ln = if U.is_smoke () then 32 else 64 in
+  let cc a b = Algebra.Efun.Compose (a, b) in
+  let p i = Algebra.Efun.Proj i in
+  let pairs f n = List.init n (fun i -> f i) in
+  let drift_db =
+    Algebra.Db.of_list
+      [ ("edge", pairs (fun i -> Value.pair (vi i) (vi (i + 1))) ln);
+        (* t.2 in 300..307: disjoint from every b.1, so the decoy is
+           provably empty at runtime — but the planner only sees
+           distinct counts. *)
+        ("tiny", pairs (fun i -> Value.pair (vi i) (vi (300 + i))) 8);
+        (* b.1 in 1..8 with 96 duplicates each: est(t join b) = 768 and
+           est(x join b) = 768 stay above the 512 the x*t cross is
+           estimated at while x is believed to hold 64 tuples — and the
+           8-row cross makes the stale plan enumerate 8|x| tuples per
+           round once x outgrows that estimate. *)
+        ("lure", pairs (fun j -> Value.pair (vi (1 + (j mod 8))) (vi (1000 + j))) 768)
+      ]
+  in
+  let trap =
+    let open Algebra.Expr in
+    (* leaves of ((x , tiny) , lure); paths from the region root *)
+    let x_2 = cc (p 2) (cc (p 1) (p 1)) in
+    let t_2 = cc (p 2) (cc (p 2) (p 1)) in
+    let b_1 = cc (p 1) (p 2) in
+    map
+      (cc (p 1) (p 1)) (* keep the x pair: the decoy adds nothing new *)
+      (select
+         (Algebra.Pred.And
+            ( Algebra.Pred.And
+                (Algebra.Pred.Eq (x_2, b_1), Algebra.Pred.Eq (t_2, b_1)),
+              (* implied by x.2 = b.1, so semantically free — but as a
+                 non-equi conjunct spanning the region it keeps the
+                 semijoin reducer from collapsing [lure]'s duplicates,
+                 which would hide the drift signal. *)
+              Algebra.Pred.Leq (x_2, b_1) ))
+         (product (product (rel "x") (rel "tiny")) (rel "lure")))
+  in
+  let drift_ifp =
+    Algebra.Expr.ifp "x" (Algebra.Expr.union (W.tc_body (Algebra.Expr.rel "x")) trap)
+  in
+  let stats = Plan.Stats.of_db drift_db in
+  let stale = Plan.Planner.create ~stats Plan.Planner.Greedy in
+  let live = Plan.Planner.create ~stats ~refresh:true Plan.Planner.Greedy in
+  (* Naive strategy: every round re-joins the whole accumulated x, so
+     the plan built for |x| = 64 keeps paying the cross product as x
+     grows into the thousands — the drift live re-planning corrects. *)
+  let eval planner () =
+    Value.hash
+      (Algebra.Eval.eval
+         ~fuel:(fresh ())
+         ~strategy:Algebra.Delta.Naive
+         ~advice:(Plan.Planner.advice planner)
+         no_defs drift_db drift_ifp)
+  in
+  ignore (eval stale ());
+  ignore (eval live ());
+  let stale_ms, live_ms, _, stale_fp, live_fp =
+    U.time_pair_ms ~runs (eval stale) (eval live)
+  in
+  let agree = stale_fp = live_fp in
+  assert agree;
+  let speedup = stale_ms /. live_ms in
+  (* Drift and re-plan counts, from the registry: one extra collected
+     run of the live configuration. *)
+  Obs.Metrics.reset ();
+  Obs.Metrics.with_collecting (fun () -> ignore (eval live ()));
+  let msn = Obs.Metrics.snapshot () in
+  let drift_events = Obs.Metrics.counter_total msn "plan/drift" in
+  let replans = Obs.Metrics.counter_total msn "plan/replan" in
+  Obs.Metrics.reset ();
+  let name = Fmt.str "drift-tc-%d" ln in
+  U.row "%-16s %10.2f %10.2f %8.2fx %6d %6d %7b@." name stale_ms live_ms
+    speedup drift_events replans agree;
+  U.record
+    [ ("experiment", U.S "e16");
+      ("workload", U.S name);
+      ("stale_ms", U.F stale_ms);
+      ("live_ms", U.F live_ms);
+      ("speedup", U.F speedup);
+      ("drift_events", U.I drift_events);
+      ("replans", U.I replans);
+      ("agree", U.B agree) ]
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
+    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
   ]
 
 let () =
@@ -1089,7 +1288,7 @@ let () =
           | None ->
             if String.equal name "micro" then micro ()
             else begin
-              Fmt.epr "unknown experiment %s (e1..e15, micro)@." name;
+              Fmt.epr "unknown experiment %s (e1..e16, micro)@." name;
               exit 2
             end)
         names

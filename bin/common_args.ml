@@ -18,6 +18,8 @@ type t = {
   plan : Plan.Planner.mode;
   par_threshold : int;
   stats_file : string option;
+  metrics : string option;
+  live_replan : bool;
 }
 
 let default_domains () =
@@ -154,8 +156,32 @@ let term =
              span timings, fixpoint iteration counts, per-engine \
              counters, and (with $(b,--plan)) the chosen join orders.")
   in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Collect retained metrics (counters, gauges, latency \
+             histograms, per-phase fuel and allocation attribution) \
+             during the run and write a Prometheus text exposition to \
+             $(docv) plus a JSON snapshot to $(docv).json. Collection \
+             observes without steering: results and fuel are \
+             byte-identical with or without it.")
+  in
+  let live_replan =
+    Arg.(
+      value & flag
+      & info [ "live-replan" ]
+          ~doc:
+            "Arm mid-fixpoint re-planning: at fixpoint-round boundaries \
+             the planner compares observed cardinalities against the \
+             estimates the current plan was built on and re-plans on \
+             drift. Requires a $(b,--plan) mode other than $(b,off); \
+             results are byte-identical — only enumeration cost moves.")
+  in
   let make fuel timeout_ms memory_limit_mb degrade stats trace profile domains
-      plan par_threshold stats_file =
+      plan par_threshold stats_file metrics live_replan =
     {
       fuel;
       timeout_ms;
@@ -168,11 +194,14 @@ let term =
       plan;
       par_threshold;
       stats_file;
+      metrics;
+      live_replan;
     }
   in
   Term.(
     const make $ fuel $ timeout_ms $ memory_limit_mb $ degrade $ stats $ trace
-    $ profile $ domains $ plan $ par_threshold $ stats_file)
+    $ profile $ domains $ plan $ par_threshold $ stats_file $ metrics
+    $ live_replan)
 
 (* Plain fuel stays on the historical zero-overhead path; any governance
    knob upgrades the budget to a governed one. *)
@@ -202,7 +231,7 @@ let planner_of t db =
       | Some persisted ->
         Plan.Stats.merge (Plan.Stats.prune_stale db persisted) sampled)
   in
-  Plan.Planner.create ~stats t.plan
+  Plan.Planner.create ~stats ~refresh:t.live_replan t.plan
 
 (* Rewrite the stats file from the relations the run actually saw. *)
 let save_stats t db =
@@ -266,9 +295,26 @@ let with_reporting t f =
       Fmt.epr "error: injected fault at %s (hit %d)@." site hit;
       code := 1
   in
+  if t.metrics <> None then begin
+    Obs.Metrics.reset ();
+    Obs.Metrics.set_collecting true
+  end;
   (match t.trace with
   | None -> go None
   | Some path -> Safe_io.with_file path (fun oc -> go (Some oc)));
+  (* Metrics files are written after the run (and after the trace file
+     is complete), from a quiesced registry, via the same tmp + rename
+     path as every other artifact — an aborted run still leaves whole
+     files. *)
+  (match t.metrics with
+  | None -> ()
+  | Some path ->
+    Obs.Metrics.set_collecting false;
+    let sn = Obs.Metrics.snapshot () in
+    Safe_io.with_file path (fun oc ->
+        output_string oc (Obs.Metrics.to_prometheus sn));
+    Safe_io.with_file (path ^ ".json") (fun oc ->
+        output_string oc (Obs.Metrics.to_json sn)));
   Option.iter (fun s -> Fmt.epr "%a@." Obs.Summary.pp s) summary;
   report_stats t;
   (match Limits.degraded fuel with

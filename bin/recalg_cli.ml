@@ -298,9 +298,54 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Answer a goal R(x)? under the valid semantics.")
     Term.(const query $ file $ goal $ Common_args.term)
 
+let report_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.dl") in
+  let semantics =
+    let parse = Arg.enum
+        [ ("valid", `Valid); ("wellfounded", `Wf); ("inflationary", `Inf);
+          ("stratified", `Strat) ]
+    in
+    Arg.(value & opt parse `Valid
+         & info [ "semantics"; "s" ] ~doc:"Semantics to evaluate under.")
+  in
+  let top =
+    Arg.(value & opt int 12
+         & info [ "top" ] ~docv:"N"
+             ~doc:"Phases shown in each top-phases table.")
+  in
+  let report file semantics top common =
+    let program, edb = load file in
+    let order = Common_args.order_of common in
+    Obs.Metrics.reset ();
+    Common_args.with_reporting common @@ fun fuel ->
+    Obs.Metrics.with_collecting (fun () ->
+        match semantics with
+        | `Valid -> ignore (Datalog.Run.valid ~fuel ~order program edb)
+        | `Wf -> ignore (Datalog.Run.wellfounded ~fuel ~order program edb)
+        | `Inf -> ignore (Datalog.Run.inflationary ~fuel ~order program edb)
+        | `Strat -> (
+          match Datalog.Run.stratified ~fuel ~order program edb with
+          | Ok _ -> ()
+          | Error e ->
+            Fmt.epr "error: %s@." e;
+            exit 1));
+    Fmt.pr "%a@."
+      (fun ppf sn -> Obs.Metrics.pp_report ~top ppf sn)
+      (Obs.Metrics.snapshot ())
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Evaluate a deductive program with retained metrics on and \
+          render the top phases by wall time and fuel with p50/p90/p99 \
+          latency quantiles — the answers are discarded, the resource \
+          picture is the output.")
+    Term.(const report $ file $ semantics $ top $ Common_args.term)
+
 let () =
   let doc = "algebras with recursion under the valid semantics" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "recalg" ~doc)
-          [ run_cmd; check_cmd; translate_cmd; alg_cmd; query_cmd; update_cmd ]))
+          [ run_cmd; check_cmd; translate_cmd; alg_cmd; query_cmd; update_cmd;
+            report_cmd ]))

@@ -3,12 +3,14 @@ type t = {
   join_mode : Expr.t -> Join.mode option;
   join_par : Expr.t -> bool option;
   ifp_strategy : string -> Expr.t -> Delta.strategy option;
+  refresh : round:int -> bound:(string * (unit -> int)) list -> Expr.t -> Expr.t option;
 }
 
 let none =
   { rewrite = Fun.id;
     join_mode = (fun _ -> None);
     join_par = (fun _ -> None);
-    ifp_strategy = (fun _ _ -> None) }
+    ifp_strategy = (fun _ _ -> None);
+    refresh = (fun ~round:_ ~bound:_ _ -> None) }
 
 let is_none t = t == none

@@ -32,6 +32,17 @@ type t = {
   ifp_strategy : string -> Expr.t -> Delta.strategy option;
       (** Per-[Ifp (x, body)] strategy override, called with [x] and
           [body]. *)
+  refresh : round:int -> bound:(string * (unit -> int)) list -> Expr.t -> Expr.t option;
+      (** Mid-fixpoint re-planning hook, called by the fixpoint engines
+          at round boundaries with the observed cardinalities of the
+          bound relations (lazy, so a planner with live refresh off
+          forces nothing). [Some body'] asks the engine to continue the
+          loop with the re-planned body — which must be result-exact,
+          like {!rewrite} — while [None] keeps the current one. Engines
+          re-validate their own preconditions (e.g. semi-naive delta
+          eligibility) before adopting a new body, and fuel accounting
+          is per round, so adopting advice never changes results or
+          fuel. *)
 }
 
 val none : t

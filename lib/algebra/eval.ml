@@ -81,7 +81,26 @@ let eval ?(fuel = Limits.default ()) ?(strategy = Delta.Seminaive)
       let strategy =
         Option.value (advice.Advice.ifp_strategy x body) ~default:strategy
       in
-      let full s = go visiting ((x, s) :: env) body in
+      let full body s = go visiting ((x, s) :: env) body in
+      (* Round-boundary re-planning: offer the planner the observed
+         cardinality of the accumulating set (lazily — identity advice
+         forces nothing) and adopt a re-planned body when it answers.
+         The rewrite is result-exact, so the value sequence — and with
+         it the round count and fuel — is unchanged; only enumeration
+         cost moves. Round 0 is skipped (nothing observed yet), and the
+         semi-naive loop re-checks delta eligibility before adopting. *)
+      let refresh_body ~check_eligible round body s =
+        if round = 0 || Advice.is_none advice then body
+        else
+          match
+            advice.Advice.refresh ~round
+              ~bound:[ (x, fun () -> Value.cardinal s) ]
+              body
+          with
+          | Some body' when (not check_eligible) || Delta.eligible [ x ] body' ->
+            body'
+          | Some _ | None -> body
+      in
       (* Each round starts with an unamortized budget probe (deadline /
          memory / cancellation notice promptly even when fuel is
          unlimited) and the eval/round chaos point. Under a
@@ -90,13 +109,14 @@ let eval ?(fuel = Limits.default ()) ?(strategy = Delta.Seminaive)
          of the monotone fixpoint — is returned and the budget latched
          as degraded. Injected faults are never degradable. *)
       let naive () =
-        let rec iterate s =
+        let rec iterate round body s =
+          let body = refresh_body ~check_eligible:false round body s in
           match
             Limits.check fuel ~what:"IFP round";
             Faultinj.hit "eval/round";
             Limits.spend fuel ~what:"IFP iteration";
             Obs.count "eval/ifp_iter" 1;
-            let s' = Value.union s (full s) in
+            let s' = Value.union s (full body s) in
             Obs.countf "eval/ifp_delta" (fun () ->
                 Value.cardinal s' - Value.cardinal s);
             if Value.equal s s' then None else Some s'
@@ -105,9 +125,9 @@ let eval ?(fuel = Limits.default ()) ?(strategy = Delta.Seminaive)
             Limits.latch fuel e;
             s
           | None -> s
-          | Some s' -> iterate s'
+          | Some s' -> iterate (round + 1) body s'
         in
-        iterate Value.empty_set
+        iterate 0 body Value.empty_set
       in
       (match strategy with
       | Delta.Naive -> naive ()
@@ -122,7 +142,7 @@ let eval ?(fuel = Limits.default ()) ?(strategy = Delta.Seminaive)
           Faultinj.hit "eval/round";
           Limits.spend fuel ~what:"IFP iteration";
           Obs.count "eval/ifp_iter" 1;
-          let s0 = full Value.empty_set in
+          let s0 = full body Value.empty_set in
           Obs.countf "eval/ifp_delta" (fun () -> Value.cardinal s0);
           s0
         with
@@ -130,9 +150,10 @@ let eval ?(fuel = Limits.default ()) ?(strategy = Delta.Seminaive)
           Limits.latch fuel e;
           Value.empty_set
         | s0 ->
-          let rec loop s d =
+          let rec loop round body s d =
             if Delta.is_empty d then s
             else
+              let body = refresh_body ~check_eligible:true round body s in
               match
                 Limits.check fuel ~what:"IFP round";
                 Faultinj.hit "eval/round";
@@ -153,9 +174,9 @@ let eval ?(fuel = Limits.default ()) ?(strategy = Delta.Seminaive)
               | exception e when Limits.degradable fuel e ->
                 Limits.latch fuel e;
                 s
-              | d' -> loop (Value.union s d') d'
+              | d' -> loop (round + 1) body (Value.union s d') d'
           in
-          loop s0 s0))
+          loop 1 body s0 s0))
     | Expr.Call _ -> go visiting env (advise (Defs.inline defs e))
   in
   go [] [] (advise (Defs.inline defs expr))

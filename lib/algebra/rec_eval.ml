@@ -178,16 +178,45 @@ let solve ?(fuel = Limits.default ()) ?window ?(strategy = Delta.Seminaive)
     List.map (fun (n, b) -> (n, advise b)) (Defs.constant_bodies inlined)
   in
   let names = List.map fst bodies in
-  let body name = List.assoc name bodies in
   (* Per-constant semi-naive eligibility: some defined constant occurs
      delta-linearly in the body. Ineligible constants are recomputed in
-     full every phase iteration, exactly as the naive engine does. *)
-  let eligible =
+     full every phase iteration, exactly as the naive engine does.
+     Recomputed whenever re-planning swaps a body — a constant whose new
+     body loses eligibility falls back to full recomputation, which
+     visits identical maps on identical iterations. *)
+  let eligible_for bodies =
     match strategy with
     | Delta.Naive -> fun _ -> false
     | Delta.Seminaive ->
-      let table = List.map (fun n -> (n, Delta.eligible names (body n))) names in
+      let table = List.map (fun (n, b) -> (n, Delta.eligible names b)) bodies in
       fun n -> List.assoc n table
+  in
+  (* Round-boundary re-planning: offer the planner each body with the
+     observed low-bound cardinalities of every defined constant (lazily,
+     so identity advice forces nothing). Adopted bodies are result-exact
+     rewrites, so the map sequences — and the fuel they meter — are
+     unchanged. Round 1 is skipped: nothing has been observed yet. *)
+  let refresh_bodies bodies lows rounds =
+    if rounds <= 1 || Advice.is_none advice then bodies
+    else begin
+      let bound =
+        List.map
+          (fun n -> (n, fun () -> Value.cardinal (Smap.find n lows)))
+          names
+      in
+      let changed = ref false in
+      let bodies' =
+        List.map
+          (fun (n, b) ->
+            match advice.Advice.refresh ~round:rounds ~bound b with
+            | Some b' ->
+              changed := true;
+              (n, b')
+            | None -> (n, b))
+          bodies
+      in
+      if !changed then bodies' else bodies
+    end
   in
   let empty_map = List.fold_left (fun m n -> Smap.add n Value.empty_set m) Smap.empty names in
   (* Least fixpoint of one phase: refine every constant from the given
@@ -198,7 +227,8 @@ let solve ?(fuel = Limits.default ()) ?window ?(strategy = Delta.Seminaive)
      iterates from the empty map grow and a constant's next value is its
      current value united with the delta-derived tuples — semi-naive and
      full recomputation visit identical maps on identical iterations. *)
-  let phase_lfp ~label ~eval_bounds ~project ~opposite =
+  let phase_lfp ~bodies ~eligible ~label ~eval_bounds ~project ~opposite =
+    let body name = List.assoc name bodies in
     Obs.span label @@ fun () ->
     let rec iterate current deltas first =
       Limits.check fuel ~what:"Rec_eval: phase iteration";
@@ -238,17 +268,22 @@ let solve ?(fuel = Limits.default ()) ?window ?(strategy = Delta.Seminaive)
      under-approximation and this engine never degrades: it finishes or
      raises. Round boundaries still probe the governed budget and carry
      the rec_eval/round chaos point. *)
-  let rec outer lows_prev rounds =
+  let rec outer bodies eligible lows_prev rounds =
     Limits.check fuel ~what:"Rec_eval: outer round";
     Faultinj.hit "rec_eval/round";
     Limits.spend fuel ~what:"Rec_eval: outer round";
     Obs.count "rec_eval/round" 1;
+    let bodies' = refresh_bodies bodies lows_prev rounds in
+    let eligible =
+      if bodies' == bodies then eligible else eligible_for bodies'
+    in
+    let bodies = bodies' in
     let highs, lows =
       Obs.spanf (fun () -> "round " ^ string_of_int rounds) @@ fun () ->
       (* High phase: lows fixed at the previous round's value, highs grow
          from the empty map to their least fixpoint. *)
       let highs =
-        phase_lfp ~label:"high"
+        phase_lfp ~bodies ~eligible ~label:"high"
           ~eval_bounds:(fun highs_cur e ->
             eval_vset builtins db lows_prev highs_cur fuel strategy join advice [] e)
           ~project:(fun s -> s.high)
@@ -256,7 +291,7 @@ let solve ?(fuel = Limits.default ()) ?window ?(strategy = Delta.Seminaive)
       in
       (* Low phase: highs fixed, lows grow from the empty map. *)
       let lows =
-        phase_lfp ~label:"low"
+        phase_lfp ~bodies ~eligible ~label:"low"
           ~eval_bounds:(fun lows_cur e ->
             eval_vset builtins db lows_cur highs fuel strategy join advice [] e)
           ~project:(fun s -> s.low)
@@ -266,9 +301,9 @@ let solve ?(fuel = Limits.default ()) ?window ?(strategy = Delta.Seminaive)
     in
     if Smap.equal Value.equal lows lows_prev then
       { lows; highs; defs = inlined; db; fuel; window; strategy; join; advice; rounds }
-    else outer lows (rounds + 1)
+    else outer bodies eligible lows (rounds + 1)
   in
-  outer empty_map 1
+  outer bodies (eligible_for bodies) empty_map 1
 
 let constant sol name =
   match Smap.find_opt name sol.lows with

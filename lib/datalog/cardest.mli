@@ -17,3 +17,12 @@ val prefer : Program.t -> Edb.t -> Literal.t -> int
     scores its predicate's estimate (smaller first); negative and
     (in)equality literals score [0] — they are filters, cheapest run as
     soon as they are evaluable. *)
+
+val prefer_with :
+  live:(string -> int option) -> Program.t -> Edb.t -> Literal.t -> int
+(** {!prefer} with a live override: [live pred] returning [Some c] (the
+    observed store cardinality at a fixpoint-round boundary) outranks
+    the static envelope for that predicate; [None] falls back to it.
+    Used by the semi-naive loop to re-rank body literals each round
+    under [`Stats] ordering — enumeration cost only, never results or
+    fuel. *)

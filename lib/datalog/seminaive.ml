@@ -73,11 +73,14 @@ type store = { mutable full : Tuples.t; mutable delta : Tuples.t; mutable next :
    envelope cardinality estimate (see {!Cardest}) — smallest relation
    first. Any valid ordering derives the same facts on the same rounds,
    so the choice affects enumeration cost only, never results or fuel. *)
-let ordered_rules ?(order = `Syntactic) program ~base rules =
+let ordered_rules ?(order = `Syntactic) ?live program ~base rules =
   let prefer =
     match order with
     | `Syntactic -> fun _ -> 0
-    | `Stats -> Cardest.prefer program base
+    | `Stats -> (
+      match live with
+      | None -> Cardest.prefer program base
+      | Some live -> Cardest.prefer_with ~live program base)
   in
   List.map
     (fun (r : Rule.t) ->
@@ -122,6 +125,32 @@ let eval_loop ~variant ~first ~fuel ~order program ~base ~stores ~derived rules 
     else Edb.tuples base pred
   in
   let ordered = ordered_rules ~order program ~base rules in
+  (* Under [`Stats], re-rank the body literals each round against the
+     live store cardinalities: as derived relations grow past their
+     static envelopes, the cheapest enumeration order changes. Every
+     valid ordering derives the same facts on the same rounds, so the
+     re-rank moves enumeration cost only — results and fuel are
+     untouched — and it reads the stores, not the metrics registry, so
+     runs are identical with metrics on or off. *)
+  let live_ordered prev =
+    match order with
+    | `Syntactic -> prev
+    | `Stats ->
+      let live pred =
+        match Hashtbl.find_opt stores pred with
+        | Some s -> Some (Tuples.cardinal s.full + Tuples.cardinal s.delta)
+        | None -> None
+      in
+      let next = ordered_rules ~order ~live program ~base rules in
+      let same =
+        List.for_all2
+          (fun (_, b1) (_, b2) -> List.for_all2 ( == ) b1 b2)
+          prev next
+      in
+      if not same then Obs.count "seminaive/reorder" 1;
+      next
+  in
+  let cur_ordered = ref ordered in
   let commit pred args =
     let s = store_of pred in
     if
@@ -256,6 +285,8 @@ let eval_loop ~variant ~first ~fuel ~order program ~base ~stores ~derived rules 
        Limits.check fuel ~what:"seminaive: round";
        Faultinj.hit "seminaive/round";
        Obs.count "seminaive/round" 1;
+       cur_ordered := live_ordered !cur_ordered;
+       let ordered = !cur_ordered in
        (match variant with
     | `Naive ->
       (* Full re-evaluation: recompute everything from the whole store. *)

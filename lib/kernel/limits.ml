@@ -185,3 +185,9 @@ let with_active t f =
 
 let check_active ~what =
   match Atomic.get active with None -> () | Some t -> check t ~what
+
+(* A pure read of the ambient budget's remaining fuel: the metrics layer
+   subtracts two readings to attribute fuel to a span. Reading never
+   spends, so instrumentation cannot perturb the budget it observes. *)
+let active_remaining () =
+  match Atomic.get active with None -> None | Some t -> remaining t

@@ -136,6 +136,11 @@ val with_active : fuel -> (unit -> 'a) -> 'a
 val check_active : what:string -> unit
 (** {!check} against the ambient budget; no-op when none is installed. *)
 
+val active_remaining : unit -> int option
+(** {!remaining} of the ambient budget — [None] when none is installed
+    or it is unlimited. A pure read: the metrics layer subtracts two
+    readings to attribute fuel to a span without spending any. *)
+
 val set_context : (unit -> string option) -> unit
 (** Register an exhaustion-context provider, consulted when {!Diverged}
     or {!Resource_exhausted} is about to be raised: [Some where]

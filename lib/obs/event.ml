@@ -1,6 +1,6 @@
 type t =
-  | Span_begin of { span : string; at : float }
-  | Span_end of { span : string; at : float; ms : float }
+  | Span_begin of { span : string; at : float; sid : int; parent : int }
+  | Span_end of { span : string; at : float; ms : float; sid : int }
   | Count of { counter : string; span : string; at : float; n : int }
   | Gauge of { counter : string; span : string; at : float; value : float }
 
@@ -20,16 +20,22 @@ let escape s =
 
 (* Keys [span], [counter] and [at] appear on every line — the invariant
    the CI trace validator checks — so consumers can group by span path
-   and filter by counter name without caring about the event shape. *)
+   and filter by counter name without caring about the event shape.
+   Span events additionally carry stable monotone ids ([sid], with the
+   opener's [parent] on [span_begin]), so a trace reconstructs into a
+   tree without parsing path strings. *)
 let to_json e =
   let line ~ev ~span ~counter ~at payload =
     Printf.sprintf "{\"at\": %.6f, \"ev\": \"%s\", \"span\": \"%s\", \"counter\": \"%s\"%s}"
       at ev (escape span) (escape counter) payload
   in
   match e with
-  | Span_begin { span; at } -> line ~ev:"span_begin" ~span ~counter:"" ~at ""
-  | Span_end { span; at; ms } ->
-    line ~ev:"span_end" ~span ~counter:"" ~at (Printf.sprintf ", \"ms\": %.4f" ms)
+  | Span_begin { span; at; sid; parent } ->
+    line ~ev:"span_begin" ~span ~counter:"" ~at
+      (Printf.sprintf ", \"sid\": %d, \"parent\": %d" sid parent)
+  | Span_end { span; at; ms; sid } ->
+    line ~ev:"span_end" ~span ~counter:"" ~at
+      (Printf.sprintf ", \"ms\": %.4f, \"sid\": %d" ms sid)
   | Count { counter; span; at; n } ->
     line ~ev:"count" ~span ~counter ~at (Printf.sprintf ", \"n\": %d" n)
   | Gauge { counter; span; at; value } ->

@@ -7,21 +7,28 @@
     build/probe volumes, index hits) and sampled {!Gauge}s. Events flow
     to the installed {!Sink.t} — {!Sink.null} by default.
 
-    {b Zero-cost-when-off invariant.} With no sink installed (the
-    default), every entry point short-circuits on a single flag load:
-    no event is built, no payload thunk is forced, no string is
-    concatenated, no allocation happens beyond the caller's own closure.
-    Engine results and fuel spend are identical with and without a sink
-    — instrumentation observes, it never steers.
+    Events also feed the retained {!Metrics} registry whenever it is
+    collecting — with or without a sink — giving every run latency
+    histograms and per-phase resource attribution at the same
+    zero-interference contract.
 
-    {b Fuel context.} While a sink is installed, the active span path
+    {b Zero-cost-when-off invariant.} With no sink installed and the
+    metrics registry off (the default), every entry point
+    short-circuits on a flag load: no event is built, no payload thunk
+    is forced, no string is concatenated, no allocation happens beyond
+    the caller's own closure. Engine results and fuel spend are
+    identical with and without instrumentation — it observes, it never
+    steers.
+
+    {b Fuel context.} While the front end is live, the active span path
     (e.g. ["run.valid > valid > round 3"]) is attached to
     {!Recalg_kernel.Limits.Diverged} messages, so a blown budget says
-    where it died. With no sink the message is byte-identical to the
+    where it died. When disabled the message is byte-identical to the
     uninstrumented one. *)
 
 val enabled : unit -> bool
-(** [true] iff a sink is installed. Call sites guard expensive payload
+(** [true] iff the front end is live: a sink is installed or
+    {!Metrics.collecting} is on. Call sites guard expensive payload
     computations (e.g. a [Value.cardinal]) behind this. *)
 
 val with_sink : Sink.t -> (unit -> 'a) -> 'a

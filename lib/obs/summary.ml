@@ -3,6 +3,7 @@ type span_stat = {
   mutable total_ms : float;
   mutable min_ms : float;
   mutable max_ms : float;
+  mutable ms_rev : float list;  (* full series, for exact quantiles *)
 }
 
 type counter_stat = {
@@ -42,13 +43,15 @@ let sink t =
     | Event.Span_end { span; ms; _ } ->
       let s =
         find t.spans
-          (fun () -> { calls = 0; total_ms = 0.; min_ms = infinity; max_ms = 0. })
+          (fun () ->
+            { calls = 0; total_ms = 0.; min_ms = infinity; max_ms = 0.; ms_rev = [] })
           span
       in
       s.calls <- s.calls + 1;
       s.total_ms <- s.total_ms +. ms;
       if ms < s.min_ms then s.min_ms <- ms;
-      if ms > s.max_ms then s.max_ms <- ms
+      if ms > s.max_ms then s.max_ms <- ms;
+      s.ms_rev <- ms :: s.ms_rev
     | Event.Count { counter; n; _ } ->
       let c =
         find t.counters
@@ -90,6 +93,14 @@ let span_mean_ms t name =
   | Some s when s.calls > 0 -> s.total_ms /. float_of_int s.calls
   | Some _ | None -> 0.
 
+(* Exact nearest-rank quantiles over the retained series — small enough
+   (one entry per span call / counter emission) that sorting on demand
+   beats maintaining order. *)
+let span_quantile_ms t name q =
+  match Hashtbl.find_opt t.spans name with
+  | Some s when s.calls > 0 -> Histogram.exact_quantile s.ms_rev q
+  | Some _ | None -> 0.
+
 let counter_events t name =
   match Hashtbl.find_opt t.counters name with Some c -> c.events | None -> 0
 
@@ -105,6 +116,13 @@ let counter_series t name =
   match Hashtbl.find_opt t.counters name with
   | Some c -> List.rev c.series_rev
   | None -> []
+
+let counter_quantile t name q =
+  match Hashtbl.find_opt t.counters name with
+  | Some c when c.events > 0 ->
+    int_of_float
+      (Histogram.exact_quantile (List.map float_of_int c.series_rev) q)
+  | Some _ | None -> 0
 
 let gauge_samples t name =
   match Hashtbl.find_opt t.gauges name with Some g -> g.samples | None -> 0
@@ -133,21 +151,30 @@ let pp ppf t =
   let gauges = sorted_bindings t.gauges in
   Fmt.pf ppf "== obs profile ==@.";
   if spans <> [] then begin
-    Fmt.pf ppf "%-44s %8s %12s %10s %10s %10s@." "span" "calls" "total ms" "min ms"
-      "mean ms" "max ms";
+    Fmt.pf ppf "%-44s %8s %12s %10s %10s %10s %10s %10s %10s@." "span" "calls"
+      "total ms" "min ms" "mean ms" "p50 ms" "p90 ms" "p99 ms" "max ms";
     List.iter
       (fun (name, s) ->
         let min_ms = if s.calls > 0 then s.min_ms else 0. in
         let mean_ms = if s.calls > 0 then s.total_ms /. float_of_int s.calls else 0. in
-        Fmt.pf ppf "%-44s %8d %12.3f %10.3f %10.3f %10.3f@." name s.calls s.total_ms
-          min_ms mean_ms s.max_ms)
+        let q p = if s.calls > 0 then Histogram.exact_quantile s.ms_rev p else 0. in
+        Fmt.pf ppf "%-44s %8d %12.3f %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f@."
+          name s.calls s.total_ms min_ms mean_ms (q 0.5) (q 0.9) (q 0.99) s.max_ms)
       spans
   end;
   if counters <> [] then begin
-    Fmt.pf ppf "%-44s %8s %12s %12s@." "counter" "events" "total" "max";
+    Fmt.pf ppf "%-44s %8s %12s %8s %8s %8s %12s@." "counter" "events" "total"
+      "p50" "p90" "p99" "max";
     List.iter
       (fun (name, c) ->
-        Fmt.pf ppf "%-44s %8d %12d %12d@." name c.events c.total c.max_n)
+        let q p =
+          if c.events > 0 then
+            int_of_float
+              (Histogram.exact_quantile (List.map float_of_int c.series_rev) p)
+          else 0
+        in
+        Fmt.pf ppf "%-44s %8d %12d %8d %8d %8d %12d@." name c.events c.total
+          (q 0.5) (q 0.9) (q 0.99) c.max_n)
       counters
   end;
   if gauges <> [] then begin

@@ -27,6 +27,10 @@ val span_mean_ms : t -> string -> float
     {!span_max_ms} this gives EXPLAIN output and the planner's sampling
     pass a variance picture, not just totals. *)
 
+val span_quantile_ms : t -> string -> float -> float
+(** Exact nearest-rank quantile over the span's full duration series
+    ([0.] if never seen) — p50/p90/p99 in the EXPLAIN table. *)
+
 val counter_events : t -> string -> int
 (** Number of emissions of the counter — e.g. the number of fixpoint
     iterations when the engine emits one delta-size count per round. *)
@@ -42,6 +46,10 @@ val counter_max : t -> string -> int
 val counter_series : t -> string -> int list
 (** The emitted increments in emission order — e.g. the per-iteration
     delta sizes of a semi-naive run. *)
+
+val counter_quantile : t -> string -> float -> int
+(** Exact nearest-rank quantile of the emitted increments ([0] if never
+    seen). *)
 
 val gauge_samples : t -> string -> int
 val gauge_last : t -> string -> float option

@@ -6,6 +6,7 @@ module Join = Recalg_algebra.Join
 module Delta = Recalg_algebra.Delta
 module Advice = Recalg_algebra.Advice
 module Obs = Recalg_obs.Obs
+module Metrics = Recalg_obs.Metrics
 
 type mode = Off | Greedy | Cost
 
@@ -39,18 +40,30 @@ type join_report = {
 
 type t = {
   mode : mode;
-  stats : Stats.t;
+  mutable stats : Stats.t;
   joins : (Expr.t, Join.mode option * bool option) Hashtbl.t;
   ifps : (string * Expr.t, Delta.strategy) Hashtbl.t;
   reports : join_report list ref;
+  refresh_on : bool;
+  drift_threshold : float;
+  bound_cards : (string, int) Hashtbl.t;
+      (* observed cardinalities of bound (fixpoint) relations, installed
+         by [refresh] — consulted by [est_leaf] before the default-card
+         fallback, so a re-plan sees the real sizes the loop reached *)
 }
 
-let create ?(stats = Stats.empty) mode =
+let default_drift_threshold = 4.0
+
+let create ?(stats = Stats.empty) ?(refresh = false)
+    ?(drift_threshold = default_drift_threshold) mode =
   { mode;
     stats;
     joins = Hashtbl.create 32;
     ifps = Hashtbl.create 8;
-    reports = ref [] }
+    reports = ref [];
+    refresh_on = refresh;
+    drift_threshold;
+    bound_cards = Hashtbl.create 4 }
 
 let reports t = List.rev !(t.reports)
 
@@ -190,19 +203,22 @@ let classify root_shape c =
 (* ------------------------------------------------------------------ *)
 (* Estimation. *)
 
-let rec est_leaf stats bound e =
+let rec est_leaf t bound e =
   match e with
-  | Expr.Rel n ->
-    if List.mem n bound then Cost.default_card
-    else (
-      match Stats.card stats n with
-      | Some c -> Cost.clamp (float_of_int c)
-      | None -> Cost.default_card)
+  | Expr.Rel n -> (
+    match Hashtbl.find_opt t.bound_cards n with
+    | Some c -> Cost.clamp (float_of_int c)
+    | None ->
+      if List.mem n bound then Cost.default_card
+      else (
+        match Stats.card t.stats n with
+        | Some c -> Cost.clamp (float_of_int c)
+        | None -> Cost.default_card))
   | Expr.Lit v -> Cost.clamp (float_of_int (Value.cardinal v))
-  | Expr.Map (_, a) | Expr.Select (_, a) -> est_leaf stats bound a
-  | Expr.Union (a, b) -> est_leaf stats bound a +. est_leaf stats bound b
-  | Expr.Diff (a, _) -> est_leaf stats bound a
-  | Expr.Product (a, b) -> Cost.cross (est_leaf stats bound a) (est_leaf stats bound b)
+  | Expr.Map (_, a) | Expr.Select (_, a) -> est_leaf t bound a
+  | Expr.Union (a, b) -> est_leaf t bound a +. est_leaf t bound b
+  | Expr.Diff (a, _) -> est_leaf t bound a
+  | Expr.Product (a, b) -> Cost.cross (est_leaf t bound a) (est_leaf t bound b)
   | Expr.Ifp _ | Expr.Call _ | Expr.Param _ -> Cost.default_card
 
 (* Column a key reads: [Id] is the whole element (column 0), [Proj i]
@@ -512,7 +528,7 @@ let rewrite t expr =
               (fun c -> match c with General g -> Some g | _ -> None)
               classes
           in
-          let base = Array.map (est_leaf stats bound) factors in
+          let base = Array.map (est_leaf t bound) factors in
           let eff =
             Array.mapi
               (fun i b ->
@@ -735,6 +751,51 @@ let rewrite t expr =
     walk [] expr
   end
 
+(* ------------------------------------------------------------------ *)
+(* Mid-fixpoint re-planning. Called by the fixpoint engines at round
+   boundaries with lazy cardinality thunks for the bound relations. The
+   plan currently running was built against an estimate for each bound
+   relation ([bound_cards] entry if we re-planned before, the default
+   card otherwise); when an observed cardinality drifts beyond
+   [drift_threshold] in either direction, the observed values are
+   installed as estimation overrides and the body is re-planned. The
+   result is advice like any other — result-exact by the rewrite's
+   contract — so live re-planning can change enumeration cost only,
+   never answers. Refresh off returns [None] without forcing a thunk. *)
+
+let refresh t ~round:_ ~bound body =
+  if t.mode = Off || not t.refresh_on then None
+  else begin
+    if Metrics.collecting () then t.stats <- Stats.refresh_live t.stats;
+    let observed = List.map (fun (n, cardf) -> (n, cardf ())) bound in
+    let drifted =
+      List.exists
+        (fun (n, obs) ->
+          let est =
+            match Hashtbl.find_opt t.bound_cards n with
+            | Some c -> float_of_int c
+            | None -> Cost.default_card
+          in
+          let obs = Float.max 1. (float_of_int obs) in
+          let est = Float.max 1. est in
+          Float.max (obs /. est) (est /. obs) >= t.drift_threshold)
+        observed
+    in
+    if not drifted then None
+    else begin
+      Obs.count "plan/drift" 1;
+      List.iter
+        (fun (n, c) -> Hashtbl.replace t.bound_cards n (max 1 c))
+        observed;
+      let body' = rewrite t body in
+      if Expr.equal body' body then None
+      else begin
+        Obs.count "plan/replan" 1;
+        Some body'
+      end
+    end
+  end
+
 let advice t =
   if t.mode = Off then Advice.none
   else
@@ -749,4 +810,5 @@ let advice t =
           match Hashtbl.find_opt t.joins node with
           | Some (_, p) -> p
           | None -> None);
-      ifp_strategy = (fun x body -> Hashtbl.find_opt t.ifps (x, body)) }
+      ifp_strategy = (fun x body -> Hashtbl.find_opt t.ifps (x, body));
+      refresh = (fun ~round ~bound body -> refresh t ~round ~bound body) }

@@ -58,12 +58,30 @@ type join_report = {
 
 type t
 
-val create : ?stats:Stats.t -> mode -> t
+val create :
+  ?stats:Stats.t -> ?refresh:bool -> ?drift_threshold:float -> mode -> t
+(** [refresh] (default [false]) arms the mid-fixpoint re-planning hook
+    ({!refresh}); [drift_threshold] (default [4.0]) is the observed/
+    estimated cardinality ratio — in either direction — beyond which a
+    round-boundary reading triggers a re-plan. *)
 
 val rewrite : t -> Expr.t -> Expr.t
 (** The planning rewrite, exposed for direct use and testing. [Off]
     returns the expression unchanged. Also populates the per-node advice
     tables and the {!reports} log as a side effect. *)
+
+val refresh :
+  t -> round:int -> bound:(string * (unit -> int)) list -> Expr.t -> Expr.t option
+(** The mid-fixpoint re-planning hook behind [Advice.refresh], exposed
+    for testing. With refresh armed: forces the cardinality thunks,
+    harvests live [db/card/*] metrics gauges into the stats (when
+    metrics are collecting), and — when an observed bound-relation
+    cardinality drifts beyond the threshold from the estimate the
+    current plan used — installs the observed values as estimation
+    overrides and re-plans the body. Returns [Some body'] only when the
+    re-plan structurally changed the expression; counts [plan/drift]
+    and [plan/replan]. Refresh off (the default) returns [None] without
+    forcing a thunk. *)
 
 val advice : t -> Advice.t
 (** The advice record to pass to [Eval.eval], [Rec_eval.solve], or the

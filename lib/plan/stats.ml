@@ -1,6 +1,7 @@
 open Recalg_kernel
 module Db = Recalg_algebra.Db
 module Summary = Recalg_obs.Summary
+module Metrics = Recalg_obs.Metrics
 
 type rel = {
   card : int;
@@ -96,6 +97,36 @@ let of_summary summary =
           acc
       else acc)
     summary empty
+
+(* Harvest the *live* metrics registry mid-run: the same [db/card/*]
+   gauges as {!of_summary}, but read from the retained registry at a
+   fixpoint-round boundary instead of from a finished run's summary.
+   Entries that carry real identity (a fingerprint from a sampling pass,
+   or sampled distincts) are kept — a live card-only reading estimates,
+   it never outranks a measured one — so refreshing only ever fills
+   gaps. *)
+let refresh_live ?snapshot t =
+  let sn = match snapshot with Some s -> s | None -> Metrics.snapshot () in
+  Metrics.fold_gauges
+    (fun name ~last ~max:_ acc ->
+      let plen = String.length card_gauge_prefix in
+      if
+        String.length name > plen
+        && String.equal (String.sub name 0 plen) card_gauge_prefix
+      then begin
+        let rel_name = String.sub name plen (String.length name - plen) in
+        match Smap.find_opt rel_name acc with
+        | Some r when r.fingerprint <> 0 || r.sampled > 0 -> acc
+        | Some _ | None ->
+          Smap.add rel_name
+            { card = int_of_float last;
+              fingerprint = 0;
+              sampled = 0;
+              distinct = [] }
+            acc
+      end
+      else acc)
+    sn t
 
 let find t name = Smap.find_opt name t
 let card t name = Option.map (fun r -> r.card) (find t name)

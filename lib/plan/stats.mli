@@ -48,6 +48,13 @@ val of_summary : Recalg_obs.Summary.t -> t
     prior observed run — closing the obs feedback loop. Cardinalities
     only; fingerprints are [0]. *)
 
+val refresh_live : ?snapshot:Recalg_obs.Metrics.snapshot -> t -> t
+(** Harvest the {e live} {!Recalg_obs.Metrics} registry (or the given
+    snapshot) for [db/card/<name>] gauges — the mid-fixpoint analogue of
+    {!of_summary}, called by the planner's round-boundary refresh hook.
+    Live readings only fill gaps: entries holding a real fingerprint or
+    sampled distincts are kept unchanged. *)
+
 val find : t -> string -> rel option
 val card : t -> string -> int option
 val distinct : t -> string -> int -> int option

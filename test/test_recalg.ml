@@ -16,6 +16,7 @@ let () =
       ("alg-parser", Test_alg_parser.suite);
       ("spec", Test_spec.suite);
       ("obs", Test_obs.suite);
+      ("metrics", Test_metrics.suite);
       ("plan", Test_plan.suite);
       ("parallel", Test_parallel.suite);
       ("chaos", Test_chaos.suite);
